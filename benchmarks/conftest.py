@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` module regenerates one of the paper's evaluation
+figures at a reduced-but-structurally-identical scale (pytest-benchmark
+measures wall time; the assertions check the paper's qualitative shape).
+Full-scale regeneration is ``python -m repro.experiments <figure>``.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)

@@ -1,0 +1,65 @@
+"""Figure 5 bench: wait-time CDF vs load, can-het / can-hom / central.
+
+Reduced scale (same load ratio as the paper's 1000-node / 2-4 s setup).
+Asserts the figure's qualitative shape: can-het tracks central, can-hom
+falls behind as the system gets loaded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gridsim import GridSimulation, MatchmakingConfig, cdf_at
+from repro.workload import WorkloadPreset
+
+BENCH_PRESET = WorkloadPreset(
+    name="bench-fig5",
+    nodes=120,
+    jobs=1200,
+    gpu_slots=2,
+    mean_interarrival=25.0,  # heavy load at this node count
+    constraint_ratio=0.6,
+)
+
+
+def _run(scheme, interarrival):
+    cfg = MatchmakingConfig(
+        BENCH_PRESET.with_interarrival(interarrival), scheme=scheme
+    )
+    return GridSimulation(cfg).run()
+
+
+@pytest.mark.parametrize("scheme", ["can-het", "can-hom", "central"])
+def test_fig5_heavy_load(benchmark, scheme):
+    result = benchmark.pedantic(
+        _run, args=(scheme, 25.0), iterations=1, rounds=1
+    )
+    assert result.wait_times.size > 0
+    assert result.unplaced_jobs <= BENCH_PRESET.jobs * 0.02
+
+
+def test_fig5_shape_can_het_tracks_central(benchmark):
+    """The paper's headline: decentralized ≈ centralized on the wait CDF."""
+    het = benchmark.pedantic(_run, args=("can-het", 25.0), iterations=1, rounds=1)
+    hom = _run("can-hom", 25.0)
+    central = _run("central", 25.0)
+    grid = (0.0, 1000.0, 5000.0, 10000.0)
+    het_cdf = cdf_at(het.wait_times, grid)
+    hom_cdf = cdf_at(hom.wait_times, grid)
+    central_cdf = cdf_at(central.wait_times, grid)
+    # can-het within a few points of central everywhere above the 80th pct
+    assert np.all(het_cdf >= central_cdf - 0.08)
+    # can-hom visibly worse somewhere on the tail
+    assert np.any(hom_cdf < het_cdf - 0.03)
+
+
+def test_fig5_shape_gap_grows_with_load(benchmark):
+    """Lighter load -> schemes converge; heavier -> can-hom degrades."""
+    heavy_gap = benchmark.pedantic(_mean_gap, args=(25.0,), iterations=1, rounds=1)
+    light_gap = _mean_gap(60.0)
+    assert heavy_gap > light_gap
+
+
+def _mean_gap(interarrival):
+    het = _run("can-het", interarrival).wait_times.mean()
+    hom = _run("can-hom", interarrival).wait_times.mean()
+    return hom - het

@@ -1,0 +1,59 @@
+"""Figure 6 bench: wait-time CDF vs job constraint ratio.
+
+Shape assertions: at a low ratio (40 %) the three matchmakers nearly
+coincide; at a high ratio (80 %) can-hom misdirects jobs while can-het
+stays close to central.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gridsim import GridSimulation, MatchmakingConfig, cdf_at
+from repro.workload import WorkloadPreset
+
+BENCH_PRESET = WorkloadPreset(
+    name="bench-fig6",
+    nodes=120,
+    jobs=1200,
+    gpu_slots=2,
+    mean_interarrival=25.0,
+    constraint_ratio=0.6,
+)
+
+
+def _run(scheme, ratio):
+    cfg = MatchmakingConfig(
+        BENCH_PRESET.with_constraint_ratio(ratio), scheme=scheme
+    )
+    return GridSimulation(cfg).run()
+
+
+@pytest.mark.parametrize("ratio", [0.8, 0.6, 0.4])
+def test_fig6_can_het(benchmark, ratio):
+    result = benchmark.pedantic(
+        _run, args=("can-het", ratio), iterations=1, rounds=1
+    )
+    assert result.constraint_ratio == ratio
+    assert result.wait_times.size > 0
+
+
+def test_fig6_shape_low_ratio_converges(benchmark):
+    """At 40 % the matchmaking problem is easy for everyone."""
+    het = benchmark.pedantic(_run, args=("can-het", 0.4), iterations=1, rounds=1)
+    hom = _run("can-hom", 0.4)
+    grid = (0.0, 2000.0, 10000.0)
+    gap = np.abs(
+        cdf_at(het.wait_times, grid) - cdf_at(hom.wait_times, grid)
+    ).max()
+    assert gap < 0.15
+
+def test_fig6_shape_high_ratio_separates(benchmark):
+    """At 80 % can-het must beat can-hom while staying near central."""
+    het = benchmark.pedantic(_run, args=("can-het", 0.8), iterations=1, rounds=1)
+    hom = _run("can-hom", 0.8)
+    central = _run("central", 0.8)
+    assert het.wait_times.mean() < hom.wait_times.mean()
+    grid = (0.0, 1000.0, 5000.0, 10000.0)
+    het_cdf = cdf_at(het.wait_times, grid)
+    central_cdf = cdf_at(central.wait_times, grid)
+    assert np.all(het_cdf >= central_cdf - 0.10)

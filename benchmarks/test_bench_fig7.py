@@ -1,0 +1,56 @@
+"""Figure 7 bench: broken links under high churn, per heartbeat scheme.
+
+Shape assertions: vanilla most resilient, adaptive close behind, compact
+clearly worst; links accumulate for compact and level out.
+"""
+
+import pytest
+
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import ChurnConfig, ChurnSimulation
+
+BENCH = dict(
+    initial_nodes=100,
+    gpu_slots=2,  # the paper's 11-dimensional CAN
+    heartbeat_period=60.0,
+    event_gap_mean=15.0,  # several events per heartbeat period: high churn
+    leave_mode="fail",
+    duration=5_000.0,
+)
+
+
+def _run(scheme):
+    return ChurnSimulation(ChurnConfig(scheme=scheme, **BENCH)).run()
+
+
+@pytest.mark.parametrize("scheme", list(HeartbeatScheme))
+def test_fig7_scheme(benchmark, scheme):
+    result = benchmark.pedantic(_run, args=(scheme,), iterations=1, rounds=1)
+    assert result.broken_links_times.size > 10
+
+
+def test_fig7_shape_resilience_ordering(benchmark):
+    results = {s: _run(s) for s in (HeartbeatScheme.VANILLA, HeartbeatScheme.ADAPTIVE)}
+    results[HeartbeatScheme.COMPACT] = benchmark.pedantic(
+        _run, args=(HeartbeatScheme.COMPACT,), iterations=1, rounds=1
+    )
+    vanilla = results[HeartbeatScheme.VANILLA].steady_state_broken_links()
+    compact = results[HeartbeatScheme.COMPACT].steady_state_broken_links()
+    adaptive = results[HeartbeatScheme.ADAPTIVE].steady_state_broken_links()
+    # the paper's ordering: compact clearly worst, adaptive ~ vanilla
+    assert compact > 1.5 * max(vanilla, 1e-9)
+    assert adaptive <= compact / 1.5
+    assert adaptive <= 2.0 * vanilla + 5.0
+
+
+def test_fig7_shape_compact_accumulates_then_levels(benchmark):
+    res = benchmark.pedantic(
+        _run, args=(HeartbeatScheme.COMPACT,), iterations=1, rounds=1
+    )
+    v = res.broken_links_values
+    third = len(v) // 3
+    early, late = v[:third].mean(), v[-third:].mean()
+    assert late > early  # accumulation
+    # leveling: the last two thirds differ much less than early-vs-late
+    mid = v[third : 2 * third].mean()
+    assert abs(late - mid) < (late - early) + 1e-9

@@ -1,0 +1,90 @@
+"""Figure 8 bench: maintenance cost vs CAN dimensionality.
+
+Shape assertions: message *count* similar for all schemes and roughly
+linear in d; message *volume* grows much faster for vanilla (O(d²)) than
+for compact/adaptive (O(d)); both metrics insensitive to node count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import ChurnConfig, ChurnSimulation
+
+GPU_SLOT_SWEEP = (0, 1, 2, 3)  # 5, 8, 11, 14 dims
+
+
+def _run(scheme, nodes=80, gpu_slots=2, duration=1200.0):
+    cfg = ChurnConfig(
+        initial_nodes=nodes,
+        gpu_slots=gpu_slots,
+        scheme=scheme,
+        heartbeat_period=60.0,
+        event_gap_mean=120.0,  # slow churn: the cost-measurement regime
+        leave_mode="fail",
+        duration=duration,
+    )
+    return ChurnSimulation(cfg).run()
+
+
+@pytest.mark.parametrize("scheme", list(HeartbeatScheme))
+def test_fig8_cost_run(benchmark, scheme):
+    result = benchmark.pedantic(_run, args=(scheme,), iterations=1, rounds=1)
+    assert result.rates.messages_per_node_minute > 0
+
+
+def _sweep(scheme):
+    counts, volumes = [], []
+    for g in GPU_SLOT_SWEEP:
+        r = _run(scheme, gpu_slots=g)
+        counts.append(r.rates.messages_per_node_minute)
+        volumes.append(r.rates.kbytes_per_node_minute)
+    return np.array(counts), np.array(volumes)
+
+
+def test_fig8a_shape_counts_similar_and_growing(benchmark):
+    counts = {
+        s: _sweep(s)[0]
+        for s in (HeartbeatScheme.COMPACT, HeartbeatScheme.ADAPTIVE)
+    }
+    counts[HeartbeatScheme.VANILLA] = benchmark.pedantic(
+        lambda: _sweep(HeartbeatScheme.VANILLA)[0], iterations=1, rounds=1
+    )
+    for s, c in counts.items():
+        assert c[-1] > c[0], f"{s}: count must grow with dimensions"
+    vanilla = counts[HeartbeatScheme.VANILLA]
+    for s, c in counts.items():
+        assert np.all(np.abs(c - vanilla) / vanilla < 0.35), (
+            f"{s}: message count diverged from vanilla"
+        )
+
+
+def test_fig8b_shape_vanilla_superlinear_compact_linear(benchmark):
+    vanilla_vol = benchmark.pedantic(
+        lambda: _sweep(HeartbeatScheme.VANILLA)[1], iterations=1, rounds=1
+    )
+    _, compact_vol = _sweep(HeartbeatScheme.COMPACT)
+    # vanilla grows much faster than compact across the dimension sweep
+    vanilla_growth = vanilla_vol[-1] / vanilla_vol[0]
+    compact_growth = compact_vol[-1] / compact_vol[0]
+    assert vanilla_growth > compact_growth
+    # and the absolute gap widens with dimensions
+    gap = vanilla_vol - compact_vol
+    assert np.all(np.diff(gap) > 0)
+    # vanilla is far above compact at the paper's 11-/14-d configurations
+    assert vanilla_vol[-1] > 4 * compact_vol[-1]
+
+
+def test_fig8_insensitive_to_node_count(benchmark):
+    # Per-node cost tracks the CAN degree, which grows like log2(n) until
+    # n reaches 2^d — so strict insensitivity only appears between large
+    # sizes.  Doubling from 400 to 800 must move per-node volume by well
+    # under the 2x that per-system scaling would produce.
+    small = benchmark.pedantic(
+        _run, args=(HeartbeatScheme.COMPACT,), kwargs={"nodes": 400},
+        iterations=1, rounds=1,
+    )
+    large = _run(HeartbeatScheme.COMPACT, nodes=800)
+    a = small.rates.kbytes_per_node_minute
+    b = large.rates.kbytes_per_node_minute
+    assert abs(a - b) / max(a, b) < 0.35

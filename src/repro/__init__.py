@@ -1,0 +1,33 @@
+"""repro — reproduction of "Supporting Computing Element Heterogeneity in
+P2P Grids" (Lee, Keleher, Sussman; IEEE CLUSTER 2011).
+
+A peer-to-peer desktop grid built on a resource-coordinate CAN DHT, with
+heterogeneity-aware decentralized matchmaking (Algorithm 1, Equations 1-4)
+and scalable maintenance via compact/adaptive heartbeats — plus everything
+it stands on: a discrete-event simulation kernel, the CAN substrate, the
+grid node/job model, synthetic workloads, baselines, and the experiment
+harness regenerating every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.gridsim import GridSimulation, MatchmakingConfig
+    from repro.workload import SMALL_LOAD
+
+    result = GridSimulation(MatchmakingConfig(SMALL_LOAD, scheme="can-het")).run()
+    print(result.summary())
+"""
+
+from . import analysis, can, gridsim, model, sched, sim, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "can",
+    "gridsim",
+    "model",
+    "sched",
+    "sim",
+    "workload",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""Reporting: CDFs, text tables, ASCII plots, CSV export."""
+
+from .export import results_dir, write_csv
+from .plotting import ascii_plot
+from .tables import format_table
+
+__all__ = ["results_dir", "write_csv", "ascii_plot", "format_table"]

@@ -1,0 +1,34 @@
+"""CSV export for experiment results (stdlib csv, results/ directory)."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv", "results_dir"]
+
+
+def results_dir(base: str = "results") -> str:
+    """Ensure and return the results directory."""
+    os.makedirs(base, exist_ok=True)
+    return base
+
+
+def write_csv(
+    path: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Write rows to ``path`` (parent directories created)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError("row width does not match headers")
+            writer.writerow(row)
+    return path

@@ -1,0 +1,209 @@
+"""Per-dimension directional load aggregation (paper, Sections II-B, III-B).
+
+Nodes piggyback aggregated load information on heartbeats: each node
+advertises, for every CAN dimension, a summary of the load in the region
+*beyond* it (toward higher coordinates — the direction jobs get pushed).
+The summary a node advertises along dimension ``D`` combines its own load
+with the summaries it last received from its ``+D``-side neighbors, so
+information propagates hop by hop, one heartbeat period per hop — exactly
+why the paper calls the data "periodically updated" and approximate.
+
+Each dimension's summary carries only the CE slot that owns the dimension
+(``gpu0.clock`` carries the ``gpu0`` load) plus two node-level counters.
+That keeps the piggyback O(1) per dimension / O(d) per heartbeat, matching
+the compact-heartbeat cost analysis.  Fields:
+
+====  =====================  ==========================================
+idx   field                  meaning
+====  =====================  ==========================================
+0     num_nodes              nodes summarised (corridor length)
+1     num_free               free nodes among them
+2     slot_required_cores    Σ required cores on the dimension's slot
+3     slot_cores             Σ cores on the dimension's slot
+4     slot_queue_jobs        Σ queued+running jobs on the slot
+5     slot_idle              count of idle CEs of the slot
+6     pool_required_cores    Σ required cores over *all* CEs (can-hom)
+7     pool_cores             Σ cores over all CEs (can-hom)
+====  =====================  ==========================================
+
+The combination rule adds the node's own record to the element-wise *mean*
+of its out-neighbors' summaries: summing would double-count overlapping
+regions reachable through several neighbors, while the mean keeps
+``num_nodes`` close to the corridor length — the same flavour of controlled
+approximation the original system used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.node import GridNode
+from .overlay import CanOverlay
+from .space import ResourceSpace
+
+__all__ = ["AggregationEngine", "FIELDS"]
+
+FIELDS = (
+    "num_nodes",
+    "num_free",
+    "slot_required_cores",
+    "slot_cores",
+    "slot_queue_jobs",
+    "slot_idle",
+    "pool_required_cores",
+    "pool_cores",
+)
+NF = len(FIELDS)
+
+
+class AggregationEngine:
+    """Vectorised hop-by-hop aggregation over a (momentarily) static CAN."""
+
+    def __init__(
+        self,
+        overlay: CanOverlay,
+        grid_nodes: Dict[int, GridNode],
+    ):
+        self.overlay = overlay
+        self.space: ResourceSpace = overlay.space
+        self.grid_nodes = grid_nodes
+        self._topology_version = -1
+        self._ids: List[int] = []
+        self._index: Dict[int, int] = {}
+        # CSR out-neighbor structure per dimension: flat index array +
+        # row offsets, built lazily from the overlay.
+        self._csr: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._ai: Optional[np.ndarray] = None  # (D, N, NF)
+        self.rounds_run = 0
+
+    # -- topology ------------------------------------------------------------------
+    def _ensure_topology(self) -> None:
+        if self._topology_version == self.overlay.topology_version:
+            return
+        self._topology_version = self.overlay.topology_version
+        self._ids = sorted(self.overlay.alive_ids())
+        self._index = {nid: i for i, nid in enumerate(self._ids)}
+        dims = self.space.dims
+        n = len(self._ids)
+        buckets: List[List[List[int]]] = [
+            [[] for _ in range(n)] for _ in range(dims)
+        ]
+        for nid in self._ids:
+            i = self._index[nid]
+            for dim in range(dims):
+                for other in self.overlay.neighbors_along(nid, dim, +1):
+                    j = self._index.get(other)
+                    if j is not None:
+                        buckets[dim][i].append(j)
+        self._csr = []
+        for dim in range(dims):
+            flat: List[int] = []
+            rows: List[int] = []
+            counts = np.zeros(n, dtype=np.float64)
+            for i in range(n):
+                out = buckets[dim][i]
+                flat.extend(out)
+                rows.extend([i] * len(out))
+                counts[i] = len(out)
+            self._csr.append(
+                (
+                    np.asarray(flat, dtype=np.int64),
+                    np.asarray(rows, dtype=np.int64),
+                    counts,
+                )
+            )
+        old = self._ai
+        self._ai = np.zeros((dims, n, NF))
+        # A topology change resets the propagated state; it re-converges in
+        # a few rounds, as it would in the real system.
+        if old is None:
+            self._seed_own()
+
+    def _seed_own(self) -> None:
+        assert self._ai is not None
+        self._ai[:] = self._own_records()
+
+    # -- own load records -------------------------------------------------------------
+    def _own_records(self) -> np.ndarray:
+        """(D, N, NF) array of every node's own contribution per dimension."""
+        dims = self.space.dims
+        n = len(self._ids)
+        own = np.zeros((dims, n, NF))
+        pool_required = np.zeros(n)
+        pool_cores = np.zeros(n)
+        free = np.zeros(n)
+        slot_stats: Dict[str, np.ndarray] = {
+            slot: np.zeros((n, 4)) for slot in self.space.slots()
+        }
+        for nid in self._ids:
+            i = self._index[nid]
+            gnode = self.grid_nodes.get(nid)
+            if gnode is None:
+                continue
+            free[i] = 1.0 if gnode.is_free() else 0.0
+            for slot, ce in gnode.ces.items():
+                stats = slot_stats.get(slot)
+                req = float(ce.required_cores())
+                cores = float(ce.spec.cores)
+                if stats is not None:
+                    stats[i, 0] = req
+                    stats[i, 1] = cores
+                    stats[i, 2] = float(ce.job_queue_size)
+                    stats[i, 3] = 1.0 if ce.idle else 0.0
+                pool_required[i] += req
+                pool_cores[i] += cores
+        for dim_obj in self.space.dimensions:
+            d = dim_obj.index
+            own[d, :, 0] = 1.0
+            own[d, :, 1] = free
+            if not dim_obj.is_virtual:
+                stats = slot_stats[dim_obj.slot]
+                own[d, :, 2:6] = stats
+            own[d, :, 6] = pool_required
+            own[d, :, 7] = pool_cores
+        return own
+
+    # -- propagation --------------------------------------------------------------------
+    def step(self) -> None:
+        """One heartbeat round of aggregation propagation."""
+        self._ensure_topology()
+        assert self._ai is not None
+        own = self._own_records()
+        dims = self.space.dims
+        new = np.empty_like(self._ai)
+        for d in range(dims):
+            flat, rows, counts = self._csr[d]
+            if flat.size == 0:
+                new[d] = own[d]
+                continue
+            gathered = self._ai[d][flat]  # (E, NF)
+            sums = np.zeros_like(own[d])
+            np.add.at(sums, rows, gathered)
+            safe_counts = np.where(counts == 0, 1.0, counts)
+            new[d] = own[d] + sums / safe_counts[:, None]
+        self._ai = new
+        self.rounds_run += 1
+
+    def run_rounds(self, k: int) -> None:
+        for _ in range(k):
+            self.step()
+
+    # -- queries --------------------------------------------------------------------------
+    def advertised(self, node_id: int, dim: int) -> np.ndarray:
+        """The aggregate ``node_id`` currently advertises along ``dim``.
+
+        This is what a *neighbor* of the node would know from the last
+        heartbeat — Equation 3's ``AI_D(N, C)`` and Equation 4's
+        ``AI_TD(N)``.
+        """
+        self._ensure_topology()
+        assert self._ai is not None
+        i = self._index.get(node_id)
+        if i is None:
+            raise KeyError(f"node {node_id} not in aggregation index")
+        return self._ai[dim, i]
+
+    def field(self, node_id: int, dim: int, name: str) -> float:
+        return float(self.advertised(node_id, dim)[FIELDS.index(name)])

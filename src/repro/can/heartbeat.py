@@ -1,0 +1,632 @@
+"""The CAN maintenance protocol: heartbeats, failures, take-overs, repair.
+
+This engine simulates the *information* plane of the CAN.  Ground truth
+(zones, ownership) lives in :class:`~repro.can.overlay.CanOverlay`; each
+node's believed neighbor table lives in a :class:`ProtocolNode` and changes
+only when messages deliver.  Three heartbeat schemes are implemented
+(paper, Section IV):
+
+* **vanilla** — every heartbeat carries the sender's full neighbor table;
+  receivers can repair broken links from third-party records (Figure 2) at
+  O(d²) volume per node.
+* **compact** — full tables go only to the sender's predetermined take-over
+  node(s) (from the zone split history); everyone else gets the sender's own
+  record plus O(d) aggregated load info.  Volume drops to O(d) but mutual
+  broken links can no longer self-heal.
+* **adaptive** — compact, plus an on-demand *full-update request* broadcast
+  to all neighbors when a node detects a broken link (a coverage gap around
+  its zone); neighbors answer with their full tables.
+
+Message *timing* is simplified to synchronous rounds every ``period``
+seconds (all nodes share the heartbeat period), which is the granularity the
+paper's experiments use; joins/leaves/failures occur at arbitrary simulated
+times between rounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..sim.monitor import TimeSeries
+from .coverage import has_gap
+from .messages import MessageType, SizeModel
+from .neighbor import BeliefRecord, NeighborTable, TableSnapshot
+from .overlay import CanOverlay, OverlayError, Transfer
+from .stats import MessageStats
+
+__all__ = ["HeartbeatScheme", "ProtocolConfig", "HeartbeatProtocol", "ProtocolNode"]
+
+
+class HeartbeatScheme(enum.Enum):
+    VANILLA = "vanilla"
+    COMPACT = "compact"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the maintenance protocol."""
+
+    scheme: HeartbeatScheme = HeartbeatScheme.VANILLA
+    #: heartbeat period in simulated seconds
+    period: float = 60.0
+    #: a neighbor is declared failed after this many silent periods
+    failure_timeout_periods: float = 2.5
+    #: adaptive: how many consecutive rounds a node keeps re-requesting
+    #: full updates while its detected gap persists before giving up
+    gap_retry_rounds: int = 2
+    #: adaptive: also run the coverage check every k rounds even without a
+    #: local table change (0 disables the periodic check)
+    periodic_gap_check_every: int = 0
+    #: adaptive: probability that a real coverage gap is noticed by the
+    #: local coverage computation in a given round.  In high dimension a
+    #: stale believed zone can spuriously cover a vacated area, hiding the
+    #: gap — 1.0 models a perfect checker (see DESIGN.md)
+    gap_detection_prob: float = 1.0
+    #: adaptive's gap detector: "coverage" runs the real local zone-face
+    #: coverage computation over believed zones (repro.can.coverage);
+    #: "oracle" compares against ground truth (an idealised upper bound)
+    detection: str = "coverage"
+    size_model: SizeModel = field(default_factory=SizeModel)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.failure_timeout_periods < 1:
+            raise ValueError("failure timeout must be at least one period")
+        if self.gap_retry_rounds < 0 or self.periodic_gap_check_every < 0:
+            raise ValueError("retry/periodic settings must be non-negative")
+        if not 0.0 <= self.gap_detection_prob <= 1.0:
+            raise ValueError("gap_detection_prob must be a probability")
+        if self.detection not in ("coverage", "oracle"):
+            raise ValueError(f"unknown detection mode {self.detection!r}")
+
+    @property
+    def failure_timeout(self) -> float:
+        return self.period * self.failure_timeout_periods
+
+
+class ProtocolNode:
+    """Per-node protocol state: believed table, stored tables, gap flags."""
+
+    __slots__ = (
+        "node_id",
+        "table",
+        "own_version",
+        "stored_tables",
+        "processed_epoch",
+        "gap_dirty",
+        "gap_attempts",
+        "_record_cache",
+        "_record_cache_version",
+        "_non_abutting",
+    )
+
+    def __init__(self, node_id: int, freshness_ttl: float = float("inf")):
+        self.node_id = node_id
+        self.table = NeighborTable(freshness_ttl)
+        self.own_version = 0
+        #: full tables received from other nodes (vanilla: every neighbor;
+        #: compact/adaptive: only nodes whose take-over target we are) —
+        #: this is what makes a take-over possible after a silent failure
+        self.stored_tables: Dict[int, TableSnapshot] = {}
+        #: (sender table epoch, our own version, our table epoch) at the
+        #: last full-table merge per sender — re-merge when any changed:
+        #: our zone changes alter which records abut us, and our own table
+        #: changes (e.g. a removal) alter what a merge would contribute
+        self.processed_epoch: Dict[int, Tuple[int, int, int]] = {}
+        self.gap_dirty = False
+        self.gap_attempts = 0
+        self._record_cache: Optional[BeliefRecord] = None
+        self._record_cache_version = -1
+        #: negative abutment memo: (node_id, version) -> our own_version at
+        #: test time.  Gossip keeps re-sending the same far-away records;
+        #: re-testing zone abutment for each would dominate the run time.
+        self._non_abutting: Dict[Tuple[int, int], int] = {}
+
+    def bump_version(self) -> None:
+        self.own_version += 1
+        self._record_cache = None
+
+    def own_record(self, overlay: CanOverlay) -> BeliefRecord:
+        if self._record_cache is None or self._record_cache_version != self.own_version:
+            self._record_cache = BeliefRecord(
+                node_id=self.node_id,
+                version=self.own_version,
+                zones=tuple(overlay.zones_of(self.node_id)),
+                coord=overlay.coordinate(self.node_id),
+            )
+            self._record_cache_version = self.own_version
+        return self._record_cache
+
+
+class HeartbeatProtocol:
+    """Drives rounds of heartbeats plus the join/leave/failure protocol."""
+
+    def __init__(
+        self,
+        overlay: CanOverlay,
+        config: ProtocolConfig,
+        rng: Optional["np.random.Generator"] = None,
+    ):
+        self.overlay = overlay
+        self.config = config
+        self._rng = rng
+        self.stats = MessageStats()
+        self.nodes: Dict[int, ProtocolNode] = {}
+        self.broken_links = TimeSeries("broken_links")
+        self._fail_times: Dict[int, float] = {}
+        self._pending_joins: List[Tuple[int, Tuple[float, ...]]] = []
+        self._round = 0
+        self._now = 0.0
+        self._takeover_cache: Tuple[int, Dict[int, Set[int]]] = (-1, {})
+        #: full-update replies in flight: (receiver id, responder record,
+        #: responder table snapshot) — sent in one round, delivered with the
+        #: next round's messages (one heartbeat period of latency)
+        self._reply_queue: List[Tuple[int, BeliefRecord, TableSnapshot]] = []
+        self.events = {"joins": 0, "leaves": 0, "failures": 0, "claims": 0}
+
+    # ------------------------------------------------------------------ topology --
+    def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None:
+        """Insert the very first CAN member."""
+        self.overlay.add_node(node_id, coord)
+        self.nodes[node_id] = ProtocolNode(node_id, self.config.failure_timeout)
+
+    def join(self, node_id: int, coord: Sequence[float], now: float) -> bool:
+        """A node joins; returns False when deferred (target zone in limbo)."""
+        coord = tuple(coord)
+        try:
+            result = self.overlay.add_node(node_id, coord)
+        except OverlayError:
+            # The containing zone belongs to a failed-but-unclaimed node;
+            # retry once the take-over has happened.
+            self._pending_joins.append((node_id, coord))
+            return False
+        self.events["joins"] += 1
+        newcomer = ProtocolNode(node_id, self.config.failure_timeout)
+        self.nodes[node_id] = newcomer
+        splitter = self.nodes[result.splitter_id]
+        splitter.bump_version()
+
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        new_zones = self.overlay.zones_of(node_id)
+
+        # Join reply: the splitter hands the newcomer its own record plus the
+        # slice of its believed table relevant to the newcomer's zone.
+        slice_records = [
+            (rec, heard_at)
+            for rec, heard_at in splitter.table.snapshot().values()
+            if rec.abuts_any(new_zones)
+        ]
+        self.stats.record(
+            MessageType.JOIN_REPLY,
+            model.table_bytes(dims, [r.zone_count for r, _ in slice_records] + [1]),
+        )
+        for rec, heard_at in slice_records:
+            newcomer.table.upsert(rec, now, heard_at=heard_at)
+        newcomer.table.upsert(splitter.own_record(self.overlay), now)
+        newcomer.gap_dirty = True
+
+        # The splitter's zone shrank: drop neighbors now adjacent only to
+        # the newcomer, and add the newcomer itself.
+        notify_ids = sorted(splitter.table.ids())
+        splitter.table.prune_non_abutting(self.overlay.zones_of(splitter.node_id))
+        new_record = newcomer.own_record(self.overlay)
+        if new_record.abuts_any(self.overlay.zones_of(splitter.node_id)):
+            splitter.table.upsert(new_record, now)
+        splitter.gap_dirty = True
+
+        # Join notify: splitter announces its new zone and the newcomer to
+        # its (pre-split) believed neighbors.
+        self.stats.record(
+            MessageType.JOIN_NOTIFY, model.notify_bytes(dims), copies=len(notify_ids)
+        )
+        splitter_record = splitter.own_record(self.overlay)
+        for target_id in notify_ids:
+            target = self._deliverable(target_id)
+            if target is None:
+                continue
+            self._receive_record(target, splitter_record, now)
+            self._receive_record(target, new_record, now)
+        return True
+
+    def graceful_leave(self, node_id: int, now: float) -> None:
+        """Voluntary departure with explicit hand-off to take-over nodes."""
+        leaver = self.nodes[node_id]
+        transfers = self.overlay.graceful_leave(node_id)
+        self.events["leaves"] += 1
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        leaver_table = leaver.table.snapshot()
+        for transfer in transfers:
+            claimant = self.nodes[transfer.to_node]
+            claimant.bump_version()
+            self.stats.record(
+                MessageType.HANDOFF,
+                model.table_bytes(dims, [rec.zone_count for rec, _ in leaver_table.values()]),
+            )
+            self._absorb_table(claimant, leaver_table, now)
+            claimant.table.remove(node_id)
+            claimant.gap_dirty = True
+            self._notify_takeover(claimant, node_id, transfer, leaver_table, now)
+        del self.nodes[node_id]
+
+    def fail(self, node_id: int, now: float) -> None:
+        """Silent crash: no messages; neighbors find out via timeouts."""
+        self.overlay.fail(node_id)
+        self.events["failures"] += 1
+        self._fail_times[node_id] = now
+
+    # ------------------------------------------------------------------ the round --
+    def run_round(self, now: float) -> None:
+        """One heartbeat period: exchange, detect, claim, repair, measure."""
+        self._round += 1
+        self._now = now
+        self.stats.track_population(now, len(self.overlay.alive_ids()))
+        self._retry_pending_joins(now)
+        self._exchange_heartbeats(now)
+        self._deliver_replies(now)
+        self._detect_failures(now)
+        self._claim_timed_out_zones(now)
+        if self.config.scheme is HeartbeatScheme.ADAPTIVE:
+            self._adaptive_gap_checks(now)
+        self.broken_links.record(now, float(self.count_broken_links()))
+
+    # -- heartbeat exchange ---------------------------------------------------------
+    def _exchange_heartbeats(self, now: float) -> None:
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        vanilla = self.config.scheme is HeartbeatScheme.VANILLA
+        takeovers = self._takeover_targets_map() if not vanilla else {}
+        for node_id in sorted(self.nodes):
+            if not self.overlay.is_alive(node_id):
+                continue  # ghosts are silent
+            sender = self.nodes[node_id]
+            targets = sorted(sender.table.ids())
+            if not targets:
+                continue
+            own = sender.own_record(self.overlay)
+            records = sender.table.records()
+            full_size = model.heartbeat_bytes(
+                dims, own.zone_count, [r.zone_count for r in records]
+            )
+            compact_size = model.heartbeat_bytes(dims, own.zone_count, None)
+            if vanilla:
+                full_targets, compact_targets = targets, []
+            else:
+                tset = takeovers.get(node_id, set())
+                full_targets = [t for t in targets if t in tset]
+                compact_targets = [t for t in targets if t not in tset]
+            self.stats.record(
+                MessageType.HEARTBEAT_FULL, full_size, copies=len(full_targets)
+            )
+            self.stats.record(
+                MessageType.HEARTBEAT, compact_size, copies=len(compact_targets)
+            )
+            for target_id in full_targets:
+                receiver = self._deliverable(target_id)
+                if receiver is None:
+                    continue
+                self._receive_record(receiver, own, now, heard=True)
+                self._merge_full_table(receiver, sender, now)
+            for target_id in compact_targets:
+                receiver = self._deliverable(target_id)
+                if receiver is None:
+                    continue
+                self._receive_record(receiver, own, now, heard=True)
+
+    def _merge_full_table(
+        self, receiver: ProtocolNode, sender: ProtocolNode, now: float
+    ) -> None:
+        """Process a full neighbor table, skipping unchanged re-sends."""
+        key = (
+            sender.table.epoch,
+            receiver.own_version,
+            receiver.table.removals_epoch,
+        )
+        last = receiver.processed_epoch.get(sender.node_id)
+        if last == key:
+            receiver.stored_tables[sender.node_id] = sender.table.snapshot()
+            return
+        receiver.stored_tables[sender.node_id] = sender.table.snapshot()
+        if last is not None and last[1:] == key[1:]:
+            # Only the sender's table advanced: merging the delta suffices.
+            # (Local removals or zone changes force a full re-merge below —
+            # an unchanged remote record may then become relevant again.)
+            own_zones = self.overlay.zones_of(receiver.node_id)
+            for rec, heard_at in sender.table.records_since(last[0]):
+                if rec.node_id != receiver.node_id:
+                    self._receive_record(
+                        receiver, rec, now, heard_at=heard_at,
+                        own_zones=own_zones,
+                    )
+        else:
+            self._absorb_table(
+                receiver, receiver.stored_tables[sender.node_id], now
+            )
+        receiver.processed_epoch[sender.node_id] = key
+
+    def _absorb_table(
+        self,
+        receiver: ProtocolNode,
+        table: TableSnapshot,
+        now: float,
+    ) -> None:
+        """Merge third-party records that abut the receiver's zones."""
+        own_zones = self.overlay.zones_of(receiver.node_id)
+        for rec, heard_at in table.values():
+            if rec.node_id == receiver.node_id:
+                continue
+            self._receive_record(
+                receiver, rec, now, heard_at=heard_at, own_zones=own_zones
+            )
+
+    def _receive_record(
+        self,
+        receiver: ProtocolNode,
+        record: BeliefRecord,
+        now: float,
+        heard: bool = False,
+        heard_at: Optional[float] = None,
+        own_zones: Optional[List] = None,
+    ) -> None:
+        """Apply one advertised record to a believed table.
+
+        Records that no longer abut the receiver's zones remove any existing
+        entry (the sender moved away); new abutting records repair broken
+        links.  Only *direct* heartbeats refresh liveness (``heard``), so
+        gossip about a dead node cannot suppress its failure detection.
+        """
+        if record.node_id == receiver.node_id:
+            return
+        existing = receiver.table.get(record.node_id)
+        if existing is not None and record.version <= existing.version:
+            # Nothing structural to learn (same or older zones — abutment
+            # cannot have changed); just move liveness evidence forward.
+            # This is the hot path: most gossiped records are already known.
+            receiver.table.advance_freshness(
+                record.node_id, now if heard else heard_at
+            )
+            return
+        memo_key = (record.node_id, record.version)
+        if (
+            existing is None
+            and receiver._non_abutting.get(memo_key) == receiver.own_version
+        ):
+            return  # same record, same zones: still not our neighbor
+        if own_zones is None:
+            own_zones = self.overlay.zones_of(receiver.node_id)
+        if not record.abuts_any(own_zones):
+            if existing is not None:
+                receiver.table.remove(record.node_id)
+                receiver.gap_dirty = True
+            else:
+                receiver._non_abutting[memo_key] = receiver.own_version
+            return
+        # NOTE: plain inserts/updates never *open* a coverage gap at the
+        # receiver, so they do not trigger the adaptive gap check; removals
+        # and local zone changes do (set by the callers concerned).
+        receiver.table.upsert(record, now, heard=heard, heard_at=heard_at)
+
+    # -- failure detection & take-over -------------------------------------------------
+    def _detect_failures(self, now: float) -> None:
+        timeout = self.config.failure_timeout
+        for node_id in sorted(self.nodes):
+            if not self.overlay.is_alive(node_id):
+                continue
+            pnode = self.nodes[node_id]
+            for stale_id in pnode.table.stale_ids(now, timeout):
+                pnode.table.remove(stale_id, now)
+                pnode.gap_dirty = True
+
+    def _claim_timed_out_zones(self, now: float) -> None:
+        """Execute predetermined take-overs for detected failures.
+
+        The overlay performs the transfers at detection time regardless of
+        scheme (zone reassignment always eventually happens in a CAN); what
+        differs per scheme is how much the claimant *knows* — whether it has
+        the dead node's table to notify the vacated zone's neighbors.
+        """
+        timeout = self.config.failure_timeout
+        due = sorted(
+            nid for nid, t in self._fail_times.items() if now - t >= timeout
+        )
+        for dead_id in due:
+            dead_table = self.nodes[dead_id].table.snapshot()
+            transfers = self.overlay.claim_zones(dead_id)
+            self.events["claims"] += 1
+            for transfer in transfers:
+                claimant = self.nodes.get(transfer.to_node)
+                if claimant is None:
+                    continue  # claimant itself died in the same window
+                claimant.bump_version()
+                known_table = claimant.stored_tables.get(dead_id)
+                self._claim_zone(claimant, dead_id, transfer, known_table, now)
+            del self._fail_times[dead_id]
+            del self.nodes[dead_id]
+            for pnode in self.nodes.values():
+                pnode.stored_tables.pop(dead_id, None)
+                pnode.processed_epoch.pop(dead_id, None)
+
+    def _claim_zone(
+        self,
+        claimant: ProtocolNode,
+        dead_id: int,
+        transfer: Transfer,
+        known_table: Optional[TableSnapshot],
+        now: float,
+    ) -> None:
+        claimant.table.remove(dead_id)
+        claimant.gap_dirty = True
+        if known_table:
+            self._absorb_table(claimant, known_table, now)
+            claimant.table.remove(dead_id)
+        self._notify_takeover(claimant, dead_id, transfer, known_table or {}, now)
+
+    def _notify_takeover(
+        self,
+        claimant: ProtocolNode,
+        vacated_id: int,
+        transfer: Transfer,
+        source_table: TableSnapshot,
+        now: float,
+    ) -> None:
+        """Announce the new ownership to everyone the claimant knows about."""
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        candidates: Dict[int, BeliefRecord] = {
+            nid: rec for nid, (rec, _) in source_table.items()
+        }
+        for rec in claimant.table.records():
+            candidates.setdefault(rec.node_id, rec)
+        targets = sorted(
+            rec.node_id
+            for rec in candidates.values()
+            if rec.node_id not in (claimant.node_id, vacated_id)
+            and any(z.abuts(transfer.zone) for z in rec.zones)
+        )
+        self.stats.record(
+            MessageType.TAKEOVER_NOTIFY, model.notify_bytes(dims), copies=len(targets)
+        )
+        claim_record = claimant.own_record(self.overlay)
+        for target_id in targets:
+            receiver = self._deliverable(target_id)
+            if receiver is None:
+                continue
+            if receiver.table.remove(vacated_id, now):
+                receiver.gap_dirty = True
+            self._receive_record(receiver, claim_record, now)
+
+    # -- adaptive repair -----------------------------------------------------------------
+    def _adaptive_gap_checks(self, now: float) -> None:
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        periodic = (
+            self.config.periodic_gap_check_every
+            and self._round % self.config.periodic_gap_check_every == 0
+        )
+        for node_id in sorted(self.nodes):
+            if not self.overlay.is_alive(node_id):
+                continue
+            pnode = self.nodes[node_id]
+            if not (pnode.gap_dirty or periodic):
+                continue
+            if self.config.gap_detection_prob < 1.0 and self._rng is not None:
+                if self._rng.random() >= self.config.gap_detection_prob:
+                    continue  # the coverage check missed the gap this round
+            if not self._detects_gap(node_id):
+                pnode.gap_dirty = False
+                pnode.gap_attempts = 0
+                continue
+            # Broadcast a full-update request to every believed neighbor;
+            # each live one answers with its full table.
+            targets = sorted(pnode.table.ids())
+            self.stats.record(
+                MessageType.FULL_UPDATE_REQUEST,
+                model.request_bytes(),
+                copies=len(targets),
+            )
+            for target_id in targets:
+                responder = self._deliverable(target_id)
+                if responder is None:
+                    continue
+                records = responder.table.records()
+                self.stats.record(
+                    MessageType.FULL_UPDATE_REPLY,
+                    model.table_bytes(dims, [r.zone_count for r in records] + [1]),
+                )
+                # The reply crosses the network; it lands next round.
+                self._reply_queue.append(
+                    (
+                        node_id,
+                        responder.own_record(self.overlay),
+                        responder.table.snapshot(),
+                    )
+                )
+            pnode.gap_attempts += 1
+            pnode.gap_dirty = pnode.gap_attempts < self.config.gap_retry_rounds
+
+    def _deliver_replies(self, now: float) -> None:
+        """Deliver last round's full-update replies to their requesters."""
+        queue, self._reply_queue = self._reply_queue, []
+        for receiver_id, own_record, snapshot in queue:
+            receiver = self._deliverable(receiver_id)
+            if receiver is None:
+                continue
+            self._receive_record(receiver, own_record, now)
+            self._absorb_table(receiver, snapshot, now)
+            if not self._detects_gap(receiver_id):
+                receiver.gap_attempts = 0
+                receiver.gap_dirty = False
+
+    def _detects_gap(self, node_id: int) -> bool:
+        """Would this node's local broken-link detector fire right now?
+
+        ``coverage`` mode runs the real algorithm: check that the believed
+        neighbor zones tile every interior face of the node's zones.  It
+        can miss gaps hidden behind stale believed zones — the honest
+        failure mode of a local checker.  ``oracle`` mode compares with
+        ground truth (never misses).
+        """
+        if self.config.detection == "oracle":
+            return bool(self._missing_neighbors(node_id))
+        pnode = self.nodes[node_id]
+        believed = [z for rec in pnode.table.records() for z in rec.zones]
+        # a just-removed (suspected-failed) neighbor's zone is not a broken
+        # link yet: its predetermined take-over is in flight
+        believed += pnode.table.grace_zones(
+            self._now, self.config.failure_timeout
+        )
+        dims = self.overlay.space.dims
+        return has_gap(
+            self.overlay.zones_of(node_id),
+            believed,
+            [0.0] * dims,
+            [1.0] * dims,
+        )
+
+    # -- metrics -----------------------------------------------------------------------
+    def _missing_neighbors(self, node_id: int) -> Set[int]:
+        truth = {
+            nid
+            for nid in self.overlay.neighbors(node_id)
+            if self.overlay.is_alive(nid)
+        }
+        return truth - self.nodes[node_id].table.ids()
+
+    def count_broken_links(self) -> int:
+        """Directed count of ground-truth neighbors missing from beliefs."""
+        total = 0
+        for node_id in self.nodes:
+            if self.overlay.is_alive(node_id):
+                total += len(self._missing_neighbors(node_id))
+        return total
+
+    # -- plumbing ----------------------------------------------------------------------
+    def _deliverable(self, node_id: int) -> Optional[ProtocolNode]:
+        """Target of a message: None when it is dead or gone (message lost)."""
+        if not self.overlay.is_alive(node_id):
+            return None
+        return self.nodes.get(node_id)
+
+    def _retry_pending_joins(self, now: float) -> None:
+        pending, self._pending_joins = self._pending_joins, []
+        for node_id, coord in pending:
+            self.join(node_id, coord, now)
+
+    def _takeover_targets_map(self) -> Dict[int, Set[int]]:
+        version = self.overlay.topology_version
+        cached_version, cached = self._takeover_cache
+        if cached_version == version:
+            return cached
+        fresh = {
+            nid: self.overlay.takeover_targets(nid)
+            for nid in self.overlay.alive_ids()
+        }
+        self._takeover_cache = (version, fresh)
+        return fresh

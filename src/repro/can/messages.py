@@ -1,0 +1,101 @@
+"""Message types and the byte-size model for CAN maintenance traffic.
+
+Figure 8(b) of the paper compares heartbeat *volume* across schemes, so we
+need a consistent wire-size model rather than real serialisation.  Sizes are
+composed from:
+
+* a fixed header (sender id, message type, timestamp, epoch);
+* *neighbor records* — id, version, zone box (2 floats per dimension per
+  zone), coordinate (1 float per dimension), and a fixed load block.  A
+  record is O(d);
+* *aggregated load info* — one compact block per dimension (the dimension's
+  owning CE slot only, plus two node-level counters), O(1) per dimension,
+  O(d) in total.  This matches the paper's claim that compact heartbeats
+  are O(d): a vanilla heartbeat additionally carries O(d) records of O(d)
+  bytes each, hence O(d²).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MessageType", "SizeModel"]
+
+
+class MessageType(enum.Enum):
+    HEARTBEAT = "heartbeat"  # compact: own record + aggregates
+    HEARTBEAT_FULL = "heartbeat_full"  # vanilla / to take-over nodes
+    JOIN_REPLY = "join_reply"  # splitter -> newcomer: neighbor slice
+    JOIN_NOTIFY = "join_notify"  # splitter -> neighbors: newcomer + new zone
+    HANDOFF = "handoff"  # graceful leaver -> take-over node
+    TAKEOVER_NOTIFY = "takeover_notify"  # claimant -> vacated zone's neighbors
+    FULL_UPDATE_REQUEST = "full_update_request"  # adaptive: gap detected
+    FULL_UPDATE_REPLY = "full_update_reply"  # adaptive: full table answer
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Byte-size accounting for protocol messages.
+
+    All constants are plausible wire sizes; only relative growth with the
+    dimension count matters for the reproduced figures.
+    """
+
+    header_bytes: int = 48
+    id_bytes: int = 8
+    version_bytes: int = 8
+    float_bytes: int = 8
+    load_block_bytes: int = 24  # per-record current load summary
+    #: per-dimension aggregate block: node-level (count, free) + the owning
+    #: slot's (required, cores, queue, idle) as floats
+    agg_fields_per_dim: int = 6
+
+    def record_bytes(self, dims: int, zones: int = 1) -> int:
+        """One neighbor record: id, version, zone box(es), coordinate, load."""
+        if dims <= 0 or zones <= 0:
+            raise ValueError("dims and zones must be positive")
+        return (
+            self.id_bytes
+            + self.version_bytes
+            + zones * 2 * dims * self.float_bytes
+            + dims * self.float_bytes
+            + self.load_block_bytes
+        )
+
+    def aggregates_bytes(self, dims: int) -> int:
+        """Piggybacked per-dimension aggregated load info (O(d) total)."""
+        return dims * self.agg_fields_per_dim * self.float_bytes
+
+    def heartbeat_bytes(
+        self, dims: int, own_zones: int, full_records_zone_counts: "list[int] | None"
+    ) -> int:
+        """A heartbeat: own record + aggregates (+ full table when included).
+
+        ``full_records_zone_counts`` lists the zone count of every neighbor
+        record included (``None`` for a compact heartbeat).
+        """
+        size = (
+            self.header_bytes
+            + self.record_bytes(dims, own_zones)
+            + self.aggregates_bytes(dims)
+        )
+        if full_records_zone_counts is not None:
+            for zc in full_records_zone_counts:
+                size += self.record_bytes(dims, max(zc, 1))
+        return size
+
+    def table_bytes(self, dims: int, zone_counts: "list[int]") -> int:
+        """A bare table payload (join reply, hand-off, full-update reply)."""
+        size = self.header_bytes
+        for zc in zone_counts:
+            size += self.record_bytes(dims, max(zc, 1))
+        return size
+
+    def notify_bytes(self, dims: int, records: int = 2) -> int:
+        """Join/take-over notifications: a couple of records."""
+        return self.header_bytes + records * self.record_bytes(dims)
+
+    def request_bytes(self) -> int:
+        """Full-update request: header only."""
+        return self.header_bytes

@@ -1,0 +1,234 @@
+"""Believed neighbor tables — each node's *local view* of the CAN.
+
+Ground truth lives in :class:`repro.can.overlay.CanOverlay`; what a node
+*believes* about its surroundings lives here and is updated exclusively by
+protocol messages.  The divergence between the two is the failure-resilience
+metric of the paper: a ground-truth neighbor absent from the believed table
+is a **broken link**.
+
+Every record carries *freshness*: when it travels in a full-table message it
+is accompanied by the sender's ``last_heard`` timestamp for that node, and
+the receiver adopts it (never moving its own estimate backwards).  This
+keeps gossip honest about liveness: a dead node's records age uniformly
+across all believers and expire everywhere within one failure timeout —
+without it, two nodes can resurrect a dead entry in each other's tables
+forever, inflating vanilla-CAN tables and masking failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .geometry import Zone
+
+__all__ = ["BeliefRecord", "NeighborTable", "TableSnapshot"]
+
+
+@dataclass(frozen=True)
+class BeliefRecord:
+    """Immutable snapshot of one node's advertised state.
+
+    ``version`` increases whenever the node's zone set changes, so stale
+    records lose against fresh ones during merges.
+    """
+
+    node_id: int
+    version: int
+    zones: Tuple[Zone, ...]
+    coord: Tuple[float, ...]
+
+    def abuts_any(self, zones: Iterable[Zone]) -> bool:
+        return any(z.abuts(other) for other in zones for z in self.zones)
+
+    @property
+    def zone_count(self) -> int:
+        return len(self.zones)
+
+
+#: what travels in full-table messages: record + sender's last_heard of it
+TableSnapshot = Dict[int, Tuple[BeliefRecord, float]]
+
+
+class NeighborTable:
+    """A node's believed neighbor set with freshness bookkeeping.
+
+    ``freshness_ttl`` is the failure timeout: gossiped records whose
+    advertised last-heard time lies further in the past are ignored (their
+    subject would be declared failed immediately anyway).
+    """
+
+    def __init__(self, freshness_ttl: float = float("inf")) -> None:
+        self._records: Dict[int, BeliefRecord] = {}
+        self._last_heard: Dict[int, float] = {}
+        #: per-record change sequence (epoch at last insert/update), so
+        #: receivers can merge only the delta since their last merge
+        self._record_seq: Dict[int, int] = {}
+        self.freshness_ttl = freshness_ttl
+        #: bumped on any membership or record change — lets receivers skip
+        #: re-merging a full table they have already processed
+        self.epoch: int = 0
+        #: bumped only on removals — the one local change that can make an
+        #: *unchanged* remote table worth re-merging (it may re-add what we
+        #: dropped); inserts and updates cannot, so they must not invalidate
+        #: every neighbor's merge cache
+        self.removals_epoch: int = 0
+        #: zones of recently removed (suspected-failed) neighbors, kept for
+        #: a grace period so the coverage detector does not panic about a
+        #: vacated zone whose take-over is already in flight
+        self._recent_removals: Dict[int, Tuple[Tuple[Zone, ...], float]] = {}
+        self._snap_cache: Optional[TableSnapshot] = None
+        self._snap_dirty: bool = True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._records
+
+    def ids(self) -> Set[int]:
+        return set(self._records)
+
+    def records(self) -> List[BeliefRecord]:
+        return list(self._records.values())
+
+    def get(self, node_id: int) -> Optional[BeliefRecord]:
+        return self._records.get(node_id)
+
+    def snapshot(self) -> TableSnapshot:
+        """The table with freshness, as shipped in full-table messages.
+
+        Cached per (epoch, freshness change): with many receivers per
+        sender the same immutable snapshot is shared.  Callers must treat
+        it as read-only.
+        """
+        if self._snap_cache is None or self._snap_dirty:
+            self._snap_cache = {
+                nid: (rec, self._last_heard.get(nid, float("-inf")))
+                for nid, rec in self._records.items()
+            }
+            self._snap_dirty = False
+        return self._snap_cache
+
+    def advance_freshness(self, node_id: int, evidence: Optional[float]) -> None:
+        """Move a neighbor's liveness evidence forward (never backwards)."""
+        if evidence is None or node_id not in self._records:
+            return
+        if evidence > self._last_heard.get(node_id, float("-inf")):
+            self._last_heard[node_id] = evidence
+            self._snap_dirty = True
+
+    # -- updates ------------------------------------------------------------------
+    def upsert(
+        self,
+        record: BeliefRecord,
+        now: float,
+        heard: bool = False,
+        heard_at: Optional[float] = None,
+    ) -> bool:
+        """Insert or refresh a record; returns True when anything changed.
+
+        ``heard=True`` marks direct contact with the subject (a heartbeat
+        from it): freshness becomes ``now``.  Otherwise ``heard_at`` is the
+        gossip sender's advertised last-heard time; stale gossip (older than
+        ``freshness_ttl``) cannot insert new entries, and freshness only
+        ever moves forward.  An existing entry is only overwritten by an
+        equal-or-newer version — gossip cannot roll state backwards.
+        """
+        evidence = now if heard else (heard_at if heard_at is not None else now)
+        current = self._records.get(record.node_id)
+        if current is None:
+            if not heard and now - evidence > self.freshness_ttl:
+                return False  # too stale to (re-)introduce
+            self._records[record.node_id] = record
+            self._last_heard[record.node_id] = evidence
+            self.epoch += 1
+            self._record_seq[record.node_id] = self.epoch
+            self._snap_dirty = True
+            return True
+        prev = self._last_heard.get(record.node_id, float("-inf"))
+        if evidence > prev:
+            self._last_heard[record.node_id] = evidence
+            self._snap_dirty = True
+        if current.version > record.version or current == record:
+            return False
+        self._records[record.node_id] = record
+        self.epoch += 1
+        self._record_seq[record.node_id] = self.epoch
+        self._snap_dirty = True
+        return True
+
+    def touch(self, node_id: int, now: float) -> None:
+        """Record direct contact without new content."""
+        if node_id in self._records and now > self._last_heard.get(node_id, -1e30):
+            self._last_heard[node_id] = now
+            self._snap_dirty = True
+
+    def remove(self, node_id: int, now: Optional[float] = None) -> bool:
+        """Drop an entry; with ``now``, remember its zones for a grace period
+        (used when removing a *suspected-failed* neighbor whose zone will be
+        claimed shortly)."""
+        record = self._records.pop(node_id, None)
+        if record is None:
+            return False
+        if now is not None:
+            self._recent_removals[node_id] = (record.zones, now)
+        self._last_heard.pop(node_id, None)
+        self._record_seq.pop(node_id, None)
+        self.epoch += 1
+        self.removals_epoch += 1
+        self._snap_dirty = True
+        return True
+
+    def records_since(self, epoch: int) -> List[Tuple[BeliefRecord, float]]:
+        """(record, last_heard) pairs inserted or updated after ``epoch``.
+
+        The delta a receiver needs when it already merged this table at
+        ``epoch`` and nothing changed on its own side.
+        """
+        return [
+            (self._records[nid], self._last_heard.get(nid, float("-inf")))
+            for nid, seq in self._record_seq.items()
+            if seq > epoch
+        ]
+
+    def grace_zones(self, now: float, grace: float) -> List[Zone]:
+        """Zones of neighbors removed within the last ``grace`` seconds."""
+        expired = [
+            nid
+            for nid, (_, t) in self._recent_removals.items()
+            if now - t > grace
+        ]
+        for nid in expired:
+            del self._recent_removals[nid]
+        return [
+            z
+            for zones, _ in self._recent_removals.values()
+            for z in zones
+        ]
+
+    def last_heard(self, node_id: int) -> float:
+        return self._last_heard.get(node_id, float("-inf"))
+
+    def stale_ids(self, now: float, timeout: float) -> List[int]:
+        """Neighbors not heard from within ``timeout`` (failure suspects)."""
+        return [
+            nid
+            for nid, t in self._last_heard.items()
+            if now - t > timeout and nid in self._records
+        ]
+
+    def prune_non_abutting(self, own_zones: List[Zone]) -> List[int]:
+        """Drop believed neighbors whose zones no longer touch ours.
+
+        Called when our own zone set changes (split away, merged) and when a
+        neighbor advertises a moved zone.
+        """
+        gone = [
+            nid
+            for nid, rec in self._records.items()
+            if not rec.abuts_any(own_zones)
+        ]
+        for nid in gone:
+            self.remove(nid)
+        return gone

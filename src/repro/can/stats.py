@@ -1,0 +1,96 @@
+"""Per-node messaging-cost accounting for the scalability experiments.
+
+Figure 8 reports the *average number of messages per node per minute* and
+the *average message volume (KB) per node per minute*.  The protocol engine
+reports every send here; :meth:`MessageStats.rates` converts the totals into
+the paper's per-node-per-minute averages over a measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .messages import MessageType
+
+__all__ = ["MessageStats", "RateSummary"]
+
+
+@dataclass(frozen=True)
+class RateSummary:
+    """Per-node-per-minute messaging averages over a window."""
+
+    messages_per_node_minute: float
+    kbytes_per_node_minute: float
+    window_seconds: float
+    node_minutes: float
+    by_type: Dict[str, float]  # message counts per node-minute, per type
+
+
+class MessageStats:
+    """Accumulates message counts and byte volumes per message type."""
+
+    def __init__(self) -> None:
+        self.count: Dict[MessageType, int] = {t: 0 for t in MessageType}
+        self.bytes: Dict[MessageType, int] = {t: 0 for t in MessageType}
+        #: integral of (alive node count) dt, to normalise per node
+        self._node_seconds: float = 0.0
+        self._last_time: float = 0.0
+        self._last_nodes: int = 0
+        self._window_start: float = 0.0
+        self._started: bool = False
+
+    # -- recording --------------------------------------------------------------
+    def record(self, mtype: MessageType, size_bytes: int, copies: int = 1) -> None:
+        """Count ``copies`` identical messages of ``size_bytes`` each."""
+        if copies < 0 or size_bytes < 0:
+            raise ValueError("negative message accounting")
+        if copies:
+            self.count[mtype] += copies
+            self.bytes[mtype] += size_bytes * copies
+
+    def track_population(self, now: float, alive_nodes: int) -> None:
+        """Advance the node-seconds integral to ``now``."""
+        if not self._started:
+            self._window_start = now
+            self._started = True
+        elif now < self._last_time:
+            raise ValueError("time went backwards")
+        else:
+            self._node_seconds += self._last_nodes * (now - self._last_time)
+        self._last_time = now
+        self._last_nodes = alive_nodes
+
+    def reset_window(self, now: float, alive_nodes: int) -> None:
+        """Start a fresh measurement window (e.g. after warm-up)."""
+        for t in MessageType:
+            self.count[t] = 0
+            self.bytes[t] = 0
+        self._node_seconds = 0.0
+        self._last_time = now
+        self._last_nodes = alive_nodes
+        self._window_start = now
+        self._started = True
+
+    # -- reporting --------------------------------------------------------------
+    def totals(self) -> Tuple[int, int]:
+        return sum(self.count.values()), sum(self.bytes.values())
+
+    def rates(self, now: float) -> RateSummary:
+        """Figure 8's metrics: averages per node per minute."""
+        self.track_population(now, self._last_nodes)
+        node_minutes = self._node_seconds / 60.0
+        if node_minutes <= 0:
+            raise ValueError("empty measurement window")
+        msgs, vol = self.totals()
+        return RateSummary(
+            messages_per_node_minute=msgs / node_minutes,
+            kbytes_per_node_minute=vol / 1024.0 / node_minutes,
+            window_seconds=now - self._window_start,
+            node_minutes=node_minutes,
+            by_type={
+                t.value: self.count[t] / node_minutes
+                for t in MessageType
+                if self.count[t]
+            },
+        )

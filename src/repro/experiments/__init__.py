@@ -1,0 +1,8 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Run with ``python -m repro.experiments <fig5|fig6|fig7|fig8|ablations|all>``.
+"""
+
+from . import ablations, common, fig5, fig6, fig7, fig8, report
+
+__all__ = ["ablations", "common", "fig5", "fig6", "fig7", "fig8", "report"]

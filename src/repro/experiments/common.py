@@ -1,0 +1,77 @@
+"""Shared plumbing for the figure-regeneration harness.
+
+Every experiment module exposes ``run(fast=...)`` returning structured
+results and ``main(argv)`` that prints the paper-comparable tables/plots and
+writes CSVs under ``results/``.  ``--fast`` runs a scaled-down configuration
+with the same structure (used by CI, benchmarks and quick sanity checks);
+the full configuration matches the paper's Section V setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "experiment_argparser",
+    "timed",
+    "results_path",
+    "WAIT_GRID",
+    "SCHEMES",
+]
+
+#: wait-time thresholds (seconds) matching Figure 5/6's x-axis
+WAIT_GRID: Tuple[float, ...] = (
+    0.0,
+    500.0,
+    1_000.0,
+    2_000.0,
+    5_000.0,
+    10_000.0,
+    20_000.0,
+    30_000.0,
+    40_000.0,
+    50_000.0,
+)
+
+#: matchmaker line-up of Figures 5 and 6
+SCHEMES: Tuple[str, ...] = ("can-het", "can-hom", "central")
+
+
+def experiment_argparser(description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down configuration (minutes -> seconds)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="directory for CSV outputs (default: results/)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    return parser
+
+
+def results_path(out_dir: str, name: str) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    return os.path.join(out_dir, name)
+
+
+def timed(label: str, fn: Callable, *args, **kwargs):
+    """Run ``fn`` with a wall-clock progress line on stderr."""
+    start = time.time()
+    print(f"[{label}] running ...", file=sys.stderr, flush=True)
+    result = fn(*args, **kwargs)
+    print(
+        f"[{label}] done in {time.time() - start:.1f}s", file=sys.stderr, flush=True
+    )
+    return result

@@ -1,0 +1,104 @@
+"""Figure 6 — CDF of job wait time while varying the job constraint ratio.
+
+Paper setup: as Figure 5 with the inter-arrival fixed (3 s) and the job
+constraint ratio swept over 80 % / 60 % / 40 %.  Expected shape: at 40 %
+all three matchmakers nearly coincide; higher ratios make matchmaking
+harder and can-hom "misdirects jobs to heavily-loaded nodes", while can-het
+stays competitive with central throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis import ascii_plot, format_table, write_csv
+from ..gridsim import GridSimulation, MatchmakingConfig, cdf_at
+from ..gridsim.results import MatchmakingResult
+from ..workload import PAPER_LOAD, SMALL_LOAD
+from .common import SCHEMES, WAIT_GRID, experiment_argparser, results_path, timed
+
+__all__ = ["run", "main", "CONSTRAINT_RATIOS"]
+
+#: the paper's sweep, heaviest first (Figure 6 a-c)
+CONSTRAINT_RATIOS: Tuple[float, ...] = (0.8, 0.6, 0.4)
+
+
+def run(
+    fast: bool = False,
+    seed: int | None = None,
+    preset=None,
+    ratios: Sequence[float] = CONSTRAINT_RATIOS,
+    schemes: Sequence[str] = SCHEMES,
+) -> Dict[float, Dict[str, MatchmakingResult]]:
+    """All (constraint ratio, scheme) runs."""
+    if preset is None:
+        preset = SMALL_LOAD if fast else PAPER_LOAD
+    if seed is not None:
+        preset = preset.with_seed(seed)
+    out: Dict[float, Dict[str, MatchmakingResult]] = {}
+    for ratio in ratios:
+        out[ratio] = {}
+        for scheme in schemes:
+            cfg = MatchmakingConfig(
+                preset.with_constraint_ratio(ratio), scheme=scheme
+            )
+            label = f"fig6 ratio={int(ratio * 100)}% {scheme}"
+            out[ratio][scheme] = timed(label, lambda c=cfg: GridSimulation(c).run())
+    return out
+
+
+def report(
+    results: Dict[float, Dict[str, MatchmakingResult]], out_dir: str
+) -> str:
+    chunks: List[str] = []
+    csv_rows: List[Tuple[object, ...]] = []
+    for ratio, by_scheme in sorted(results.items(), reverse=True):
+        rows = []
+        series = {}
+        for scheme, res in by_scheme.items():
+            fractions = cdf_at(res.wait_times, WAIT_GRID) * 100.0
+            rows.append([scheme] + [f"{f:.2f}" for f in fractions])
+            series[scheme] = (np.asarray(WAIT_GRID), fractions)
+            for threshold, frac in zip(WAIT_GRID, fractions):
+                csv_rows.append((ratio, scheme, threshold, frac))
+        headers = ["scheme"] + [f"<= {int(t):,}s" for t in WAIT_GRID]
+        chunks.append(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    "Figure 6 — CDF of job wait time (%), "
+                    f"constraint ratio {int(ratio * 100)}%"
+                ),
+            )
+        )
+        chunks.append(
+            ascii_plot(
+                series,
+                title=f"Figure 6 ({int(ratio*100)}%): % jobs with wait <= x",
+                xlabel="job wait time (s)",
+                ylabel="% of jobs",
+                y_min=80.0,
+                y_max=100.0,
+                height=14,
+            )
+        )
+    write_csv(
+        results_path(out_dir, "fig6_wait_time_cdf.csv"),
+        ["constraint_ratio", "scheme", "wait_threshold_s", "cdf_percent"],
+        csv_rows,
+    )
+    return "\n\n".join(chunks)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
+    results = run(fast=args.fast, seed=args.seed)
+    print(report(results, args.out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""End-to-end simulations: load-balancing runs and churn runs."""
+
+from .churn import ChurnSimulation
+from .config import ChurnConfig, MatchmakingConfig
+from .faulty import FaultyGridConfig, FaultyGridResult, FaultyGridSimulation
+from .metrics import cdf_at, empirical_cdf, jains_fairness, wait_time_table
+from .results import ChurnResult, MatchmakingResult
+from .simulation import GridSimulation, build_grid
+
+__all__ = [
+    "ChurnSimulation",
+    "ChurnConfig",
+    "MatchmakingConfig",
+    "FaultyGridConfig",
+    "FaultyGridResult",
+    "FaultyGridSimulation",
+    "cdf_at",
+    "empirical_cdf",
+    "jains_fairness",
+    "wait_time_table",
+    "ChurnResult",
+    "MatchmakingResult",
+    "GridSimulation",
+    "build_grid",
+]

@@ -1,0 +1,85 @@
+"""Configuration dataclasses for the two experiment families."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..can.heartbeat import HeartbeatScheme
+from ..model.contention import ContentionModel
+from ..workload.presets import WorkloadPreset
+
+__all__ = ["MatchmakingConfig", "ChurnConfig"]
+
+
+@dataclass(frozen=True)
+class MatchmakingConfig:
+    """A load-balancing run: workload preset + matchmaker + knobs."""
+
+    preset: WorkloadPreset
+    scheme: str = "can-het"  # can-het | can-hom | central
+    #: Equation 4's SF; the paper treats it as a tuned parameter.  4.0 keeps
+    #: jobs pushing until the far-out node count is genuinely small, which
+    #: is where can-het's wait-time CDF meets the centralized baseline
+    stopping_factor: float = 4.0
+    max_push_hops: int = 64
+    contention: ContentionModel = field(default_factory=ContentionModel)
+    #: aggregation warm-up rounds before the first job arrives
+    aggregation_warmup_rounds: int = 5
+    #: ablation switches (only meaningful for can-het)
+    use_acceptable_nodes: bool = True
+    use_dominant_ce: bool = True
+    use_virtual_dimension: bool = True
+
+    def __post_init__(self) -> None:
+        if self.scheme not in ("can-het", "can-hom", "central"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.max_push_hops <= 0:
+            raise ValueError("max_push_hops must be positive")
+        if self.aggregation_warmup_rounds < 0:
+            raise ValueError("warmup rounds must be non-negative")
+
+    def with_scheme(self, scheme: str) -> "MatchmakingConfig":
+        return replace(self, scheme=scheme)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """A maintenance-protocol run: population + churn rate + scheme."""
+
+    initial_nodes: int = 1000
+    gpu_slots: int = 2  # 2 -> 11 CAN dimensions
+    scheme: HeartbeatScheme = HeartbeatScheme.VANILLA
+    heartbeat_period: float = 60.0
+    failure_timeout_periods: float = 2.5
+    #: mean gap between churn events; < period means simultaneous events
+    event_gap_mean: float = 15.0
+    #: 'fail' = silent crashes (high-churn resilience experiments);
+    #: 'graceful' = clean leaves with hand-off
+    leave_mode: str = "fail"
+    #: simulated end time of stage 2 (stage 1 joins happen at t=0)
+    duration: float = 30_000.0
+    #: stats window opens after this many settle rounds post-bootstrap
+    warmup_rounds: int = 3
+    seed: int = 20110926
+    gap_retry_rounds: int = 2
+    periodic_gap_check_every: int = 0
+    #: adaptive's broken-link detector: the real local zone-coverage check
+    #: ("coverage") or the idealised ground-truth comparison ("oracle")
+    detection: str = "coverage"
+
+    def __post_init__(self) -> None:
+        if self.initial_nodes < 2:
+            raise ValueError("need at least two nodes")
+        if self.leave_mode not in ("fail", "graceful"):
+            raise ValueError(f"unknown leave_mode {self.leave_mode!r}")
+        if self.event_gap_mean <= 0 or self.heartbeat_period <= 0:
+            raise ValueError("periods must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def dims(self) -> int:
+        return 4 + 3 * self.gpu_slots + 1
+
+    def with_scheme(self, scheme: HeartbeatScheme) -> "ChurnConfig":
+        return replace(self, scheme=scheme)

@@ -1,0 +1,237 @@
+"""Matchmaking under churn: the grid keeps scheduling while nodes come and go.
+
+The paper evaluates load balancing (Figures 5/6) on a stable population and
+failure resilience (Figures 7/8) with no workload.  This module composes the
+two — the natural next experiment for the system, and the regime a real
+desktop grid lives in:
+
+* nodes crash at a configurable rate; their running and queued jobs are
+  lost, detected after a delay (the failure timeout), and resubmitted
+  through the matchmaker;
+* fresh nodes join, extending the CAN and the eligible population;
+* the aggregation engine tracks the changing topology.
+
+Zone hand-off is taken from the authoritative overlay (the maintenance
+protocol's job — measured separately in Figure 7); what this simulation adds
+is the *scheduling* consequence of churn: lost work, resubmission latency,
+and matchmaking quality over a shifting population.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..can.overlay import OverlayError
+from ..model.job import Job
+from ..model.node import GridNode
+from ..workload.jobs import JobDistribution
+from ..workload.nodes import NodeDistribution, generate_node_specs
+from .config import MatchmakingConfig
+from .results import MatchmakingResult
+from .simulation import GridSimulation
+
+__all__ = ["FaultyGridConfig", "FaultyGridSimulation", "FaultyGridResult"]
+
+
+@dataclass(frozen=True)
+class FaultyGridConfig:
+    """Churn knobs layered on a matchmaking configuration."""
+
+    matchmaking: MatchmakingConfig
+    #: mean time between node failures, across the whole grid (seconds)
+    mean_time_between_failures: float = 300.0
+    #: mean time between node joins (seconds); equal rates keep the
+    #: population in dynamic equilibrium, as in the paper's Section V-B
+    mean_time_between_joins: float = 300.0
+    #: how long until a failure is noticed and its jobs resubmitted
+    detection_delay: float = 150.0
+    #: placement retry backoff when no capable node is currently alive
+    retry_delay: float = 300.0
+    max_placement_attempts: int = 5
+    #: never let churn shrink the grid below this fraction of the start size
+    min_population_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if min(
+            self.mean_time_between_failures,
+            self.mean_time_between_joins,
+            self.detection_delay,
+            self.retry_delay,
+        ) <= 0:
+            raise ValueError("all churn timings must be positive")
+        if not 0 < self.min_population_fraction <= 1:
+            raise ValueError("min_population_fraction must be in (0, 1]")
+        if self.max_placement_attempts < 1:
+            raise ValueError("need at least one placement attempt")
+
+
+@dataclass
+class FaultyGridResult:
+    """A matchmaking result plus the churn ledger."""
+
+    base: MatchmakingResult
+    failures: int
+    joins: int
+    jobs_lost: int
+    jobs_resubmitted: int
+    jobs_abandoned: int  # exceeded the retry budget
+    final_population: int
+
+    def summary(self) -> Dict[str, float]:
+        s = self.base.summary()
+        s.update(
+            failures=float(self.failures),
+            joins=float(self.joins),
+            jobs_lost=float(self.jobs_lost),
+            jobs_resubmitted=float(self.jobs_resubmitted),
+            jobs_abandoned=float(self.jobs_abandoned),
+        )
+        return s
+
+
+class FaultyGridSimulation(GridSimulation):
+    """GridSimulation plus failures, joins, and job resubmission."""
+
+    def __init__(
+        self,
+        config: FaultyGridConfig,
+        node_dist: Optional[NodeDistribution] = None,
+        job_dist: Optional[JobDistribution] = None,
+    ):
+        super().__init__(config.matchmaking, node_dist, job_dist)
+        self.fault_config = config
+        self._node_dist = node_dist or NodeDistribution()
+        self._next_node_id = itertools.count(
+            max(self.grid_nodes) + 1 if self.grid_nodes else 0
+        )
+        self.failures = 0
+        self.joins = 0
+        self.jobs_lost = 0
+        self.jobs_resubmitted = 0
+        self.jobs_abandoned = 0
+        self._attempts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ churn --
+    def _churn_processes(self):
+        cfg = self.fault_config
+        fail_rng = self.rngs.stream("failures")
+        join_rng = self.rngs.stream("joins")
+
+        # Waits are chunked so the process notices promptly when the
+        # workload has drained and stops, instead of holding the clock
+        # hostage until a far-future churn event.
+        check_interval = 600.0
+
+        def wait(gap):
+            deadline = self.env.now + max(gap, 1e-6)
+            while self.env.now < deadline and self._work_remaining():
+                yield self.env.timeout(min(check_interval, deadline - self.env.now))
+            return self._work_remaining() and self.env.now >= deadline
+
+        def failures():
+            while self._work_remaining():
+                gap = float(fail_rng.exponential(cfg.mean_time_between_failures))
+                fire = yield from wait(gap)
+                if fire:
+                    self._fail_random_node(fail_rng)
+
+        def joins():
+            while self._work_remaining():
+                gap = float(join_rng.exponential(cfg.mean_time_between_joins))
+                fire = yield from wait(gap)
+                if fire:
+                    self._join_new_node(join_rng)
+
+        return failures(), joins()
+
+    def _fail_random_node(self, rng: np.random.Generator) -> None:
+        cfg = self.fault_config
+        alive = [nid for nid in self.overlay.alive_ids()]
+        floor = int(self.config.preset.nodes * cfg.min_population_fraction)
+        if len(alive) <= floor:
+            return
+        victim_id = int(alive[int(rng.integers(len(alive)))])
+        victim = self.grid_nodes[victim_id]
+        lost = victim.fail()
+        self.overlay.fail(victim_id)
+        self.overlay.claim_zones(victim_id)
+        del self.grid_nodes[victim_id]
+        self.failures += 1
+        self.jobs_lost += len(lost)
+        for job in lost:
+            self._schedule_resubmission(job)
+
+    def _join_new_node(self, rng: np.random.Generator) -> None:
+        spec = generate_node_specs(
+            1,
+            self.config.preset.gpu_slots,
+            rng,
+            self._node_dist,
+            first_id=next(self._next_node_id),
+        )[0]
+        coord = self.space.node_coordinate(spec, float(rng.random()))
+        try:
+            self.overlay.add_node(spec.node_id, coord)
+        except OverlayError:
+            return  # coordinate collision or zone in limbo; skip this event
+        self.grid_nodes[spec.node_id] = GridNode(
+            spec, self.env, contention=self.config.contention
+        )
+        self.joins += 1
+
+    # ------------------------------------------------------------------ jobs --
+    def _schedule_resubmission(self, job: Job) -> None:
+        cfg = self.fault_config
+        job.enqueue_time = None
+        job.start_time = None
+        job.finish_time = None
+        job.run_node_id = None
+        self.env.schedule_callback(
+            cfg.detection_delay, lambda j=job: self._resubmit(j)
+        )
+
+    def _resubmit(self, job: Job) -> None:
+        cfg = self.fault_config
+        attempts = self._attempts.get(job.job_id, 0) + 1
+        self._attempts[job.job_id] = attempts
+        if attempts > cfg.max_placement_attempts:
+            self.jobs_abandoned += 1
+            return
+        node = self.matchmaker.place(job)
+        if node is None:
+            self.env.schedule_callback(
+                cfg.retry_delay, lambda j=job: self._resubmit(j)
+            )
+            return
+        self.jobs_resubmitted += 1
+        node.submit(job)
+
+    def _work_remaining(self) -> bool:
+        if super()._work_remaining():
+            return True
+        # resubmissions still in flight?
+        return any(
+            j.run_node_id is None and self._attempts.get(j.job_id, 0) > 0
+            and self._attempts[j.job_id] <= self.fault_config.max_placement_attempts
+            for j in self.jobs
+        )
+
+    # ------------------------------------------------------------------ run --
+    def run(self) -> FaultyGridResult:  # type: ignore[override]
+        fail_proc, join_proc = self._churn_processes()
+        self.env.process(fail_proc, name="failures")
+        self.env.process(join_proc, name="joins")
+        base = super().run()
+        return FaultyGridResult(
+            base=base,
+            failures=self.failures,
+            joins=self.joins,
+            jobs_lost=self.jobs_lost,
+            jobs_resubmitted=self.jobs_resubmitted,
+            jobs_abandoned=self.jobs_abandoned,
+            final_population=len(self.overlay.alive_ids()),
+        )

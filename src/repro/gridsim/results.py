@@ -1,0 +1,73 @@
+"""Result containers for the experiment harness (plain-data, serialisable)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..can.stats import RateSummary
+from ..sched.base import MatchmakingStats
+
+__all__ = ["MatchmakingResult", "ChurnResult"]
+
+
+@dataclass
+class MatchmakingResult:
+    """Outcome of one load-balancing simulation run."""
+
+    scheme: str
+    preset_name: str
+    mean_interarrival: float
+    constraint_ratio: float
+    wait_times: np.ndarray  # seconds, one entry per started job
+    turnarounds: np.ndarray
+    unplaced_jobs: int
+    lost_jobs: int
+    matchmaking: MatchmakingStats
+    sim_end_time: float
+    jobs_submitted: int
+
+    def summary(self) -> Dict[str, float]:
+        w = self.wait_times
+        if w.size == 0:
+            return {"jobs": 0.0}
+        return {
+            "jobs": float(w.size),
+            "mean_wait": float(w.mean()),
+            "p50_wait": float(np.percentile(w, 50)),
+            "p80_wait": float(np.percentile(w, 80)),
+            "p90_wait": float(np.percentile(w, 90)),
+            "p95_wait": float(np.percentile(w, 95)),
+            "p99_wait": float(np.percentile(w, 99)),
+            "max_wait": float(w.max()),
+            "zero_wait_fraction": float((w <= 1e-9).mean()),
+            "mean_push_hops": self.matchmaking.mean_push_hops,
+        }
+
+
+@dataclass
+class ChurnResult:
+    """Outcome of one maintenance-protocol simulation run."""
+
+    scheme: str
+    nodes: int
+    dims: int
+    broken_links_times: np.ndarray
+    broken_links_values: np.ndarray
+    rates: RateSummary
+    events: Dict[str, int]
+    final_population: int
+
+    @property
+    def final_broken_links(self) -> float:
+        return float(self.broken_links_values[-1]) if self.broken_links_values.size else 0.0
+
+    def steady_state_broken_links(self, tail_fraction: float = 0.25) -> float:
+        """Mean broken links over the trailing window (Figure 7's plateau)."""
+        v = self.broken_links_values
+        if v.size == 0:
+            return 0.0
+        k = max(1, int(v.size * tail_fraction))
+        return float(v[-k:].mean())

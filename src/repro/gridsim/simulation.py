@@ -1,0 +1,195 @@
+"""End-to-end load-balancing simulation (Figures 5 and 6).
+
+Wires everything together: a workload preset generates heterogeneous nodes
+and a Poisson job stream; the nodes join a CAN; per-dimension load
+aggregates propagate every heartbeat period; and one of the three
+matchmakers (can-het / can-hom / central) places every arriving job.  Jobs
+queue FIFO on their run node's dominant CE and execute for a duration scaled
+by the CE's clock and contention.  The primary output is the distribution of
+*job wait times* — time from arrival in the run-node queue to execution
+start — the paper's Figure 5/6 metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..can.aggregation import AggregationEngine
+from ..can.overlay import CanOverlay
+from ..can.space import ResourceSpace
+from ..model.job import Job
+from ..model.node import GridNode, NodeSpec
+from ..sched.base import Matchmaker
+from ..sched.can_het import CanHetMatchmaker
+from ..sched.can_hom import CanHomMatchmaker
+from ..sched.central import CentralMatchmaker
+from ..sim.core import Environment
+from ..sim.rng import RngRegistry
+from ..workload.jobs import JobDistribution, generate_jobs
+from ..workload.nodes import NodeDistribution, generate_node_specs
+from .config import MatchmakingConfig
+from .results import MatchmakingResult
+
+__all__ = ["GridSimulation", "build_grid"]
+
+
+def build_grid(
+    specs: List[NodeSpec],
+    env: Environment,
+    space: ResourceSpace,
+    rng: np.random.Generator,
+    config: MatchmakingConfig,
+    use_virtual_randomness: bool = True,
+) -> tuple:
+    """Construct GridNodes and a CAN overlay from node specs.
+
+    Returns ``(overlay, grid_nodes)``.  Nodes join sequentially, each with a
+    random virtual coordinate (or a degenerate near-constant one when the
+    virtual-dimension ablation is off).
+    """
+    overlay = CanOverlay(space)
+    grid_nodes: Dict[int, GridNode] = {}
+    for spec in specs:
+        if use_virtual_randomness:
+            virtual = float(rng.random())
+        else:
+            # Ablation: the virtual coordinate still must differ between
+            # nodes (the CAN cannot split otherwise) but is squeezed into a
+            # tiny band so it no longer spreads load.
+            virtual = float(rng.random()) * 1e-6
+        coord = space.node_coordinate(spec, virtual)
+        overlay.add_node(spec.node_id, coord)
+        grid_nodes[spec.node_id] = GridNode(
+            spec, env, contention=config.contention
+        )
+    return overlay, grid_nodes
+
+
+class GridSimulation:
+    """One complete matchmaking experiment run."""
+
+    def __init__(
+        self,
+        config: MatchmakingConfig,
+        node_dist: Optional[NodeDistribution] = None,
+        job_dist: Optional[JobDistribution] = None,
+    ):
+        self.config = config
+        preset = config.preset
+        self.rngs = RngRegistry(preset.seed)
+        self.env = Environment()
+        self.space = ResourceSpace(gpu_slots=preset.gpu_slots)
+
+        self.specs = generate_node_specs(
+            preset.nodes, preset.gpu_slots, self.rngs.stream("nodes"), node_dist
+        )
+        self.overlay, self.grid_nodes = build_grid(
+            self.specs,
+            self.env,
+            self.space,
+            self.rngs.stream("virtual"),
+            config,
+            use_virtual_randomness=config.use_virtual_dimension,
+        )
+        jdist = (job_dist or JobDistribution()).with_constraint_ratio(
+            preset.constraint_ratio
+        )
+        self.jobs = generate_jobs(
+            preset.jobs,
+            self.specs,
+            preset.gpu_slots,
+            preset.mean_interarrival,
+            self.rngs.stream("jobs"),
+            jdist,
+        )
+        self.aggregation = AggregationEngine(self.overlay, self.grid_nodes)
+        self.matchmaker = self._build_matchmaker()
+        self.unplaced = 0
+        self._submitted = 0
+
+    # -- wiring ------------------------------------------------------------------
+    def _build_matchmaker(self) -> Matchmaker:
+        cfg = self.config
+        if cfg.scheme == "central":
+            return CentralMatchmaker(self.grid_nodes)
+        rng = self.rngs.stream("matchmaking")
+        if cfg.scheme == "can-het":
+            return CanHetMatchmaker(
+                self.overlay,
+                self.grid_nodes,
+                self.aggregation,
+                rng,
+                stopping_factor=cfg.stopping_factor,
+                max_hops=cfg.max_push_hops,
+                use_acceptable_nodes=cfg.use_acceptable_nodes,
+                use_dominant_ce=cfg.use_dominant_ce,
+            )
+        return CanHomMatchmaker(
+            self.overlay,
+            self.grid_nodes,
+            self.aggregation,
+            rng,
+            stopping_factor=cfg.stopping_factor,
+            max_hops=cfg.max_push_hops,
+        )
+
+    # -- processes ------------------------------------------------------------------
+    def _arrival_process(self):
+        for job in self.jobs:
+            delay = job.submit_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._submitted += 1
+            node = self.matchmaker.place(job)
+            if node is None:
+                self.unplaced += 1
+            else:
+                node.submit(job)
+
+    def _aggregation_process(self):
+        period = self.config.preset.heartbeat_period
+        self.aggregation.run_rounds(self.config.aggregation_warmup_rounds)
+        while self._work_remaining():
+            yield self.env.timeout(period)
+            self.aggregation.step()
+
+    def _work_remaining(self) -> bool:
+        if self._submitted < len(self.jobs):
+            return True
+        return any(
+            not node.is_free() for node in self.grid_nodes.values()
+        )
+
+    # -- run ------------------------------------------------------------------------
+    def run(self) -> MatchmakingResult:
+        if self.config.scheme != "central":
+            self.env.process(self._aggregation_process(), name="aggregation")
+        self.env.process(self._arrival_process(), name="arrivals")
+        self.env.run()
+
+        waits: List[float] = []
+        turnarounds: List[float] = []
+        lost = 0
+        for job in self.jobs:
+            if job.wait_time is not None:
+                waits.append(job.wait_time)
+            elif job.run_node_id is not None:
+                lost += 1
+            if job.turnaround is not None:
+                turnarounds.append(job.turnaround)
+        preset = self.config.preset
+        return MatchmakingResult(
+            scheme=self.config.scheme,
+            preset_name=preset.name,
+            mean_interarrival=preset.mean_interarrival,
+            constraint_ratio=preset.constraint_ratio,
+            wait_times=np.asarray(waits),
+            turnarounds=np.asarray(turnarounds),
+            unplaced_jobs=self.unplaced,
+            lost_jobs=lost,
+            matchmaking=self.matchmaker.stats,
+            sim_end_time=self.env.now,
+            jobs_submitted=self._submitted,
+        )

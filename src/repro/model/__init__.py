@@ -1,0 +1,18 @@
+"""Grid domain model: computing elements, jobs, nodes, contention."""
+
+from .ce import CESpec, ComputingElement, CPU_SLOT, gpu_slot
+from .contention import ContentionModel
+from .job import CERequirement, Job
+from .node import GridNode, NodeSpec
+
+__all__ = [
+    "CESpec",
+    "ComputingElement",
+    "CPU_SLOT",
+    "gpu_slot",
+    "ContentionModel",
+    "CERequirement",
+    "Job",
+    "GridNode",
+    "NodeSpec",
+]

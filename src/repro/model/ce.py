@@ -1,0 +1,176 @@
+"""Computing elements (CEs): specifications and runtime state.
+
+A *computing element* is a physically separate execution unit inside a grid
+node — a multi-core CPU, a GPU, or another accelerator (paper, Section I).
+CEs come in two flavours:
+
+* **non-dedicated** (CPUs): several jobs may run concurrently on separate
+  cores, contending for shared resources;
+* **dedicated** (GPUs of the paper's era): exactly one job at a time,
+  although that job may be multi-threaded across all the CE's cores.
+
+Nodes carry at most one CE per *slot*.  Slots give heterogeneous resources a
+stable identity across the system — slot ``cpu`` has attributes (clock,
+memory, disk, cores) and each slot ``gpu<i>`` has (clock, memory, cores) —
+and they are what the CAN maps onto coordinate dimensions (Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .job import Job
+
+__all__ = ["CPU_SLOT", "gpu_slot", "CESpec", "ComputingElement"]
+
+#: Slot name of the (always present) CPU computing element.
+CPU_SLOT = "cpu"
+
+
+def gpu_slot(index: int) -> str:
+    """Name of the ``index``-th (0-based) GPU slot, e.g. ``gpu0``."""
+    if index < 0:
+        raise ValueError("GPU slot index must be >= 0")
+    return f"gpu{index}"
+
+
+@dataclass(frozen=True)
+class CESpec:
+    """Static capability description of one computing element.
+
+    ``clock`` is expressed relative to the nominal clock speed (1.0), as in
+    the paper: simulated execution time scales inversely with it.  ``memory``
+    and ``disk`` are in GB; ``disk`` is only meaningful for the CPU slot.
+    """
+
+    slot: str
+    clock: float
+    memory: float
+    cores: int
+    disk: float = 0.0
+    dedicated: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.slot:
+            raise ValueError("slot must be non-empty")
+        if self.clock <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock}")
+        if self.memory < 0 or self.disk < 0:
+            raise ValueError("memory/disk must be non-negative")
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+
+    def attribute(self, name: str) -> float:
+        """Read a capability attribute by name (for coordinate mapping)."""
+        if name == "clock":
+            return self.clock
+        if name == "memory":
+            return self.memory
+        if name == "disk":
+            return self.disk
+        if name == "cores":
+            return float(self.cores)
+        raise KeyError(f"unknown CE attribute {name!r}")
+
+
+class ComputingElement:
+    """Runtime state of one CE: the jobs running on it and its FIFO queue.
+
+    The queue holds jobs whose *dominant* CE is this one (Equation 1 of the
+    paper scores nodes by ``CE(N, C).JobQueueSize``, i.e. queues are per-CE).
+    Secondary-CE usage is tracked in ``running`` but such jobs never appear
+    in this CE's queue.
+    """
+
+    def __init__(self, spec: CESpec):
+        self.spec = spec
+        #: jobs currently occupying cores on this CE (dominant or secondary)
+        self.running: List["Job"] = []
+        #: FIFO of jobs waiting to start whose dominant CE is this one
+        self.queue: List["Job"] = []
+        #: cores currently claimed by running jobs
+        self.cores_in_use: int = 0
+
+    # -- capacity ----------------------------------------------------------------
+    @property
+    def free_cores(self) -> int:
+        return self.spec.cores - self.cores_in_use
+
+    @property
+    def idle(self) -> bool:
+        """No running jobs and an empty queue."""
+        return not self.running and not self.queue
+
+    def can_host(self, cores: int) -> bool:
+        """Could a job needing ``cores`` start on this CE right now?
+
+        Dedicated CEs host one job at a time regardless of core count;
+        non-dedicated CEs require enough free cores (paper, Section III-B,
+        "Dedicated vs. Non-dedicated CE").
+        """
+        if cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.spec.dedicated:
+            return not self.running
+        return self.free_cores >= cores
+
+    # -- job lifecycle -----------------------------------------------------------
+    def attach(self, job: "Job", cores: int) -> None:
+        """Account a starting job's core claim."""
+        if not self.can_host(cores):
+            raise RuntimeError(
+                f"CE {self.spec.slot} cannot host {cores} cores "
+                f"(free={self.free_cores}, dedicated={self.spec.dedicated}, "
+                f"running={len(self.running)})"
+            )
+        self.running.append(job)
+        self.cores_in_use += cores
+
+    def detach(self, job: "Job", cores: int) -> None:
+        """Release a finished job's core claim."""
+        self.running.remove(job)
+        self.cores_in_use -= cores
+        if self.cores_in_use < 0:
+            raise RuntimeError(f"CE {self.spec.slot} core accounting underflow")
+
+    # -- load metrics used by the score functions --------------------------------
+    @property
+    def job_queue_size(self) -> int:
+        """Running + queued jobs — Equation 1's ``JobQueueSize``."""
+        return len(self.running) + len(self.queue)
+
+    def required_cores(self) -> int:
+        """Cores demanded by running and waiting jobs — Equation 2 numerator.
+
+        Waiting jobs contribute the cores they will claim on this CE.
+        """
+        waiting = sum(job.cores_on(self.spec.slot) for job in self.queue)
+        return self.cores_in_use + waiting
+
+    def utilization_score(self) -> float:
+        """Equations 1 and 2: core utilization divided by clock speed."""
+        if self.spec.dedicated:
+            utilization = float(self.job_queue_size)
+        else:
+            utilization = self.required_cores() / self.spec.cores
+        return utilization / self.spec.clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "dedicated" if self.spec.dedicated else "shared"
+        return (
+            f"<CE {self.spec.slot} {kind} clock={self.spec.clock:g} "
+            f"cores={self.cores_in_use}/{self.spec.cores} "
+            f"queue={len(self.queue)}>"
+        )
+
+
+def specs_by_slot(specs: List[CESpec]) -> Dict[str, CESpec]:
+    """Index CE specs by slot, rejecting duplicates."""
+    out: Dict[str, CESpec] = {}
+    for spec in specs:
+        if spec.slot in out:
+            raise ValueError(f"duplicate CE slot {spec.slot!r}")
+        out[spec.slot] = spec
+    return out

@@ -1,0 +1,110 @@
+"""Matchmaker interface and shared selection helpers."""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..can.overlay import CanOverlay
+from ..model.job import Job
+from ..model.node import GridNode
+
+__all__ = [
+    "Matchmaker",
+    "MatchmakingStats",
+    "fastest_dominant_clock",
+    "outward_capable_search",
+]
+
+
+@dataclass
+class MatchmakingStats:
+    """Aggregate counters a matchmaker maintains across placements."""
+
+    placed: int = 0
+    unplaced: int = 0
+    total_push_hops: int = 0
+    stopped_probabilistically: int = 0
+    placed_on_free: int = 0
+    placed_on_acceptable: int = 0
+    fallback_searches: int = 0
+
+    @property
+    def mean_push_hops(self) -> float:
+        return self.total_push_hops / self.placed if self.placed else 0.0
+
+
+class Matchmaker(abc.ABC):
+    """Chooses a run node for each submitted job."""
+
+    name: str = "matchmaker"
+
+    def __init__(self) -> None:
+        self.stats = MatchmakingStats()
+
+    @abc.abstractmethod
+    def place(self, job: Job) -> Optional[GridNode]:
+        """Return the run node for ``job``, or ``None`` when unplaceable."""
+
+    def _record_placement(
+        self, node: Optional[GridNode], job: Job, hops: int
+    ) -> Optional[GridNode]:
+        if node is None:
+            self.stats.unplaced += 1
+            return None
+        self.stats.placed += 1
+        self.stats.total_push_hops += hops
+        job.push_hops = hops
+        if node.is_free():
+            self.stats.placed_on_free += 1
+        elif node.is_acceptable(job):
+            self.stats.placed_on_acceptable += 1
+        return node
+
+
+def outward_capable_search(
+    overlay: CanOverlay,
+    grid_nodes: Dict[int, GridNode],
+    origin_id: int,
+    job: Job,
+    budget: int = 256,
+) -> List[GridNode]:
+    """Breadth-first sweep of the job's satisfying region.
+
+    Every node satisfying a job is reachable from the owner of the job's
+    coordinate by hops that only ever cross zone faces toward *higher*
+    coordinates (the straight line from the coordinate to the node's
+    coordinate passes through a monotone staircase of zones).  When the
+    probabilistic push walk strands without meeting a capable node — rare,
+    but real for scarce multi-CE machines — this expanding-ring search from
+    the routing origin is the CAN's fallback, bounded by ``budget`` visited
+    nodes.
+    """
+    dims = overlay.space.dims
+    seen = {origin_id}
+    queue = deque([origin_id])
+    capable: List[GridNode] = []
+    while queue and len(seen) <= budget:
+        current = queue.popleft()
+        node = grid_nodes.get(current)
+        if node is not None and node.alive and node.capable(job):
+            capable.append(node)
+        for dim in range(dims):
+            for nid in sorted(overlay.neighbors_along(current, dim, +1)):
+                if nid not in seen and overlay.is_alive(nid):
+                    seen.add(nid)
+                    queue.append(nid)
+    return capable
+
+
+def fastest_dominant_clock(nodes: Iterable[GridNode], job: Job) -> GridNode:
+    """Pick the node with the fastest clock for the job's dominant CE.
+
+    Ties break on node id for determinism.
+    """
+    candidates = list(nodes)
+    if not candidates:
+        raise ValueError("empty candidate set")
+    return min(candidates, key=lambda n: (-n.dominant_clock(job), n.node_id))

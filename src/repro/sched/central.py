@@ -1,0 +1,55 @@
+"""The greedy online centralized matchmaker ("central" in the figures).
+
+Section V-A: "a greedy online centralized scheduler, which assigns jobs
+based on complete load information across all nodes.  Such a scheme would
+be very expensive in a real system, but can give some indication of the best
+possible performance ... it greedily assigns a job to the most capable node,
+possibly assigning jobs to nodes that are over-provisioned."
+
+So: with perfect instantaneous knowledge of every node, prefer a free node
+with the fastest dominant-CE clock, then any acceptable node with the
+fastest clock, then the minimum Equation 1/2 score — but no lookahead and
+no global optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..model.job import Job
+from ..model.node import GridNode
+from .base import Matchmaker, fastest_dominant_clock
+from .score import node_score
+
+__all__ = ["CentralMatchmaker"]
+
+
+class CentralMatchmaker(Matchmaker):
+    """Greedy online scheduler with complete global information."""
+
+    name = "central"
+
+    def __init__(self, grid_nodes: Dict[int, GridNode]):
+        super().__init__()
+        self.grid_nodes = grid_nodes
+
+    def place(self, job: Job) -> Optional[GridNode]:
+        capable = [
+            n
+            for n in self.grid_nodes.values()
+            if n.alive and n.capable(job)
+        ]
+        if not capable:
+            return self._record_placement(None, job, 0)
+        free = [n for n in capable if n.is_free()]
+        if free:
+            return self._record_placement(
+                fastest_dominant_clock(free, job), job, 0
+            )
+        acceptable = [n for n in capable if n.is_acceptable(job)]
+        if acceptable:
+            return self._record_placement(
+                fastest_dominant_clock(acceptable, job), job, 0
+            )
+        chosen = min(capable, key=lambda n: (node_score(n, job), n.node_id))
+        return self._record_placement(chosen, job, 0)

@@ -1,0 +1,106 @@
+"""The paper's scoring equations (Section III-B).
+
+* **Equation 1** (dedicated CE): score = JobQueueSize / ClockSpeed.
+* **Equation 2** (non-dedicated CE): score = (RequiredCores / NumberOfCores)
+  / ClockSpeed.
+* **Equation 3** (push objective): F_D(N, C) =
+  AI_D(N, C).SumOfRequiredCores / AI_D(N, C).NumberOfCores².
+* **Equation 4** (stop probability): P(N) =
+  1 / (1 + AI_TD(N).NumberOfNodes)^SF.
+
+Equations 1/2 prefer the least-utilised node relative to its clock speed
+for the job's dominant CE; Equation 3 steers pushes toward regions with
+plenty of cores and little outstanding demand; Equation 4 stops pushing
+sooner when few nodes remain farther out.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..model.ce import ComputingElement
+from ..model.job import Job
+from ..model.node import GridNode
+from ..can.aggregation import FIELDS
+
+__all__ = [
+    "ce_score",
+    "node_score",
+    "push_objective",
+    "stop_probability",
+    "pooled_node_score",
+]
+
+_IDX = {name: i for i, name in enumerate(FIELDS)}
+
+
+def ce_score(ce: ComputingElement) -> float:
+    """Equations 1 and 2: utilisation of a CE divided by its clock speed."""
+    return ce.utilization_score()
+
+
+def node_score(node: GridNode, job: Job) -> float:
+    """Score of a node for a job, evaluated on the job's dominant CE.
+
+    Nodes lacking the dominant CE score ``inf`` (they cannot run the job).
+    """
+    ce = node.ce(job.dominant_slot)
+    if ce is None:
+        return math.inf
+    return ce_score(ce)
+
+
+def pooled_node_score(node: GridNode) -> float:
+    """The heterogeneity-*oblivious* score used by the can-hom baseline.
+
+    Whole-node core utilisation over the CPU clock — it cannot tell which
+    CE is the loaded one, which is exactly why can-hom misplaces jobs.
+    """
+    cpu = node.ce("cpu")
+    assert cpu is not None  # every node has a CPU
+    return node.node_utilization() / cpu.spec.clock
+
+
+def push_objective(ai: np.ndarray, use_slot_fields: bool) -> float:
+    """Equation 3 on an advertised aggregate vector.
+
+    ``use_slot_fields`` selects the per-CE fields when the push dimension
+    belongs to the job's dominant CE slot; other dimensions fall back to the
+    pooled (node-level) fields, which is all their aggregates carry.
+    """
+    if use_slot_fields:
+        required = ai[_IDX["slot_required_cores"]]
+        cores = ai[_IDX["slot_cores"]]
+    else:
+        required = ai[_IDX["pool_required_cores"]]
+        cores = ai[_IDX["pool_cores"]]
+    if cores <= 0:
+        return math.inf
+    return required / (cores * cores)
+
+
+def pooled_push_objective(ai: np.ndarray) -> float:
+    """Equation 3 with pooled fields only — the can-hom steering signal."""
+    return push_objective(ai, use_slot_fields=False)
+
+
+def stop_probability(num_nodes_beyond: float, stopping_factor: float) -> float:
+    """Equation 4: probability to stop pushing at the current node.
+
+    ``num_nodes_beyond`` is AI_TD(N).NumberOfNodes, the (approximate) count
+    of nodes farther out along the chosen target dimension.
+    """
+    if stopping_factor < 0:
+        raise ValueError("stopping factor must be non-negative")
+    n = max(0.0, float(num_nodes_beyond))
+    return 1.0 / (1.0 + n) ** stopping_factor
+
+
+def ai_field(ai: np.ndarray, name: str) -> float:
+    """Read a named field out of an advertised aggregate vector."""
+    if name not in _IDX:
+        raise ValueError(f"unknown aggregate field {name!r}")
+    return float(ai[_IDX[name]])

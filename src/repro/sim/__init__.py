@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel (SimPy-style, written from scratch)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .monitor import Counter, TimeSeries, TimeWeighted
+from .queues import FifoStore, PriorityStore, Resource
+from .rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "StopSimulation",
+    "Timeout",
+    "Counter",
+    "TimeSeries",
+    "TimeWeighted",
+    "FifoStore",
+    "PriorityStore",
+    "Resource",
+    "RngRegistry",
+]

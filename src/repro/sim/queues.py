@@ -1,0 +1,177 @@
+"""Waitable containers and resources for the simulation kernel.
+
+These mirror SimPy's ``Store``/``Resource`` at the scale this project needs:
+
+* :class:`FifoStore` — unbounded (or bounded) FIFO of items; ``get`` blocks a
+  process until an item is available.
+* :class:`PriorityStore` — like :class:`FifoStore` but delivers the smallest
+  item first (items must be orderable; use tuples for keyed priority).
+* :class:`Resource` — counted resource with FIFO grant order, used to model
+  CE core pools in tests and examples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generic, List, Optional, TypeVar
+import heapq
+
+from .core import Environment, Event, SimulationError
+
+__all__ = ["FifoStore", "PriorityStore", "Resource"]
+
+T = TypeVar("T")
+
+
+class FifoStore(Generic[T]):
+    """FIFO item store with blocking ``get`` and optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[T]:
+        """Snapshot of queued items (front first)."""
+        return list(self._items)
+
+    def put(self, item: T) -> Event:
+        """Insert ``item``; the returned event fires once it is accepted."""
+        ev = Event(self.env)
+        ev._value = item  # stashed for deferred insertion
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append(ev)
+        else:
+            self._insert(item)
+            ev.succeed(item)
+        return ev
+
+    def _insert(self, item: T) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event firing with the next item."""
+        ev = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[T]:
+        """Non-blocking pop; ``None`` when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            pending = self._putters.popleft()
+            self._insert(pending._value)
+            pending.succeed(pending._value)
+
+
+class PriorityStore(Generic[T]):
+    """Store delivering the smallest item first (heap-ordered)."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._heap: List[T] = []
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def items(self) -> List[T]:
+        return sorted(self._heap)
+
+    def put(self, item: T) -> Event:
+        ev = Event(self.env)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            heapq.heappush(self._heap, item)
+        ev.succeed(item)
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.env)
+        if self._heap:
+            ev.succeed(heapq.heappop(self._heap))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[T]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+
+class Resource:
+    """Counted resource with FIFO grant order.
+
+    ``request(n)`` returns an event that fires when ``n`` units have been
+    granted; ``release(n)`` returns them.  Grants are strictly FIFO, so a
+    large request at the head blocks smaller later ones (head-of-line), which
+    matches the FIFO job queues in the paper's node model.
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self, amount: int = 1) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"request of {amount} exceeds capacity {self.capacity}"
+            )
+        ev = Event(self.env)
+        ev._value = amount
+        if not self._waiters and self.available >= amount:
+            self.in_use += amount
+            ev.succeed(amount)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self, amount: int = 1) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        if amount > self.in_use:
+            raise SimulationError(
+                f"release of {amount} exceeds in-use {self.in_use}"
+            )
+        self.in_use -= amount
+        while self._waiters and self.available >= self._waiters[0]._value:
+            ev = self._waiters.popleft()
+            self.in_use += ev._value
+            ev.succeed(ev._value)

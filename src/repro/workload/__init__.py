@@ -1,0 +1,20 @@
+"""Synthetic workload generation: nodes, jobs, arrival processes, presets."""
+
+from .distributions import Tiered, WeightedChoice
+from .jobs import JobDistribution, arrival_times, generate_jobs
+from .nodes import NodeDistribution, generate_node_specs
+from .presets import PAPER_LOAD, SMALL_LOAD, TINY_LOAD, WorkloadPreset
+
+__all__ = [
+    "Tiered",
+    "WeightedChoice",
+    "JobDistribution",
+    "arrival_times",
+    "generate_jobs",
+    "NodeDistribution",
+    "generate_node_specs",
+    "PAPER_LOAD",
+    "SMALL_LOAD",
+    "TINY_LOAD",
+    "WorkloadPreset",
+]

@@ -1,0 +1,101 @@
+"""Heterogeneous grid-node generation (paper, Section V-A).
+
+"Each node potentially has a single-/multi-core CPU (1, 2, 4 or 8 cores),
+and may include up to two different types of GPU.  The resource
+characteristics for a CPU are CPU clock rate, memory size, disk space, and
+number of cores.  Each GPU has three characteristics: GPU clock rate, GPU
+memory, and number of GPU cores."
+
+GPU slots are *types*: slot ``gpu0`` and ``gpu1`` model two distinct GPU
+product families, and a node owns at most one CE per slot.  Capability
+values are tier-skewed: mostly low-end, a few high-end machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..model.ce import CESpec, CPU_SLOT, gpu_slot
+from ..model.node import NodeSpec
+from .distributions import Tiered, WeightedChoice
+
+__all__ = ["NodeDistribution", "generate_node_specs"]
+
+
+@dataclass(frozen=True)
+class NodeDistribution:
+    """Tunable capability distributions for node generation."""
+
+    cpu_cores: WeightedChoice = WeightedChoice(
+        values=(1, 2, 4, 8), weights=(0.35, 0.30, 0.22, 0.13)
+    )
+    cpu_clock: Tiered = Tiered(
+        tiers=((0.60, 0.8, 1.5), (0.30, 1.5, 2.5), (0.10, 2.5, 4.0))
+    )
+    memory_gb: WeightedChoice = WeightedChoice(
+        values=(2, 4, 8, 16, 32), weights=(0.25, 0.30, 0.25, 0.15, 0.05)
+    )
+    disk_gb: Tiered = Tiered(
+        tiers=((0.55, 40, 250), (0.35, 250, 1000), (0.10, 1000, 2000))
+    )
+    #: probability the node owns a CE in each successive GPU slot.  The
+    #: second (and later) entries are conditional on nothing — each slot is
+    #: drawn independently, so some nodes own both GPU types.
+    gpu_presence: Tuple[float, ...] = (0.45, 0.25, 0.15)
+    gpu_clock: Tiered = Tiered(
+        tiers=((0.55, 0.5, 1.2), (0.35, 1.2, 2.2), (0.10, 2.2, 3.5))
+    )
+    gpu_memory_gb: WeightedChoice = WeightedChoice(
+        values=(1, 2, 4, 6), weights=(0.35, 0.35, 0.20, 0.10)
+    )
+    gpu_cores: WeightedChoice = WeightedChoice(
+        values=(128, 240, 448, 512), weights=(0.40, 0.30, 0.20, 0.10)
+    )
+
+    def presence(self, slot_index: int) -> float:
+        if slot_index < len(self.gpu_presence):
+            return self.gpu_presence[slot_index]
+        return self.gpu_presence[-1]
+
+
+def generate_node_specs(
+    count: int,
+    gpu_slots: int,
+    rng: np.random.Generator,
+    dist: NodeDistribution | None = None,
+    first_id: int = 0,
+) -> List[NodeSpec]:
+    """Draw ``count`` heterogeneous node specs with up to ``gpu_slots`` GPUs."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if gpu_slots < 0:
+        raise ValueError("gpu_slots must be non-negative")
+    dist = dist or NodeDistribution()
+    specs: List[NodeSpec] = []
+    for i in range(count):
+        ces = [
+            CESpec(
+                slot=CPU_SLOT,
+                clock=dist.cpu_clock.sample(rng),
+                memory=dist.memory_gb.sample(rng),
+                disk=dist.disk_gb.sample(rng),
+                cores=int(dist.cpu_cores.sample(rng)),
+                dedicated=False,
+            )
+        ]
+        for g in range(gpu_slots):
+            if rng.random() < dist.presence(g):
+                ces.append(
+                    CESpec(
+                        slot=gpu_slot(g),
+                        clock=dist.gpu_clock.sample(rng),
+                        memory=dist.gpu_memory_gb.sample(rng),
+                        cores=int(dist.gpu_cores.sample(rng)),
+                        dedicated=True,
+                    )
+                )
+        specs.append(NodeSpec(node_id=first_id + i, ces=tuple(ces)))
+    return specs

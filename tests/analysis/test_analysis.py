@@ -1,0 +1,95 @@
+"""Unit tests for reporting helpers: tables, plots, CSV export."""
+
+import csv
+import os
+
+import pytest
+
+from repro.analysis.export import results_dir, write_csv
+from repro.analysis.plotting import ascii_plot
+from repro.analysis.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 22.125]], precision=2
+        )
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.50" in out and "22.12" in out
+
+    def test_title(self):
+        out = format_table(["x"], [["y"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_large_and_tiny_floats_use_scientific(self):
+        out = format_table(["v"], [[1.5e9], [2.5e-7]])
+        assert "e+" in out and "e-" in out
+
+    def test_nan(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_alignment(self):
+        out = format_table(["col"], [["a"], ["bbb"]])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        out = ascii_plot(
+            {"one": ([0, 1, 2], [0, 1, 4]), "two": ([0, 1, 2], [4, 1, 0])},
+            width=30,
+            height=8,
+            title="T",
+            xlabel="x",
+            ylabel="y",
+        )
+        assert out.splitlines()[0] == "T"
+        assert "o=one" in out and "x=two" in out
+        assert "x: x   y: y" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([], [])})
+
+    def test_y_bounds_clamp(self):
+        out = ascii_plot(
+            {"s": ([0, 1], [50, 150])}, y_min=80.0, y_max=100.0, height=5
+        )
+        assert "100" in out and "80" in out
+
+    def test_constant_series(self):
+        out = ascii_plot({"s": ([0, 1], [5, 5])})
+        assert "o" in out
+
+    def test_non_finite_points_skipped(self):
+        out = ascii_plot({"s": ([0, 1, 2], [1, float("nan"), 2])})
+        assert "o" in out
+
+
+class TestExport:
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "sub" / "out.csv")
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_row_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "x.csv"), ["a"], [[1, 2]])
+
+    def test_results_dir(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        d = results_dir("resultados")
+        assert os.path.isdir(d)

@@ -1,0 +1,183 @@
+"""Unit + property tests for the zone-face coverage detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.coverage import (
+    Face,
+    face_of,
+    find_gaps,
+    uncovered_fraction,
+    union_measure,
+)
+from repro.can.geometry import Zone
+from repro.can.overlay import CanOverlay
+from repro.can.space import ResourceSpace
+
+
+class TestUnionMeasure:
+    def test_empty(self):
+        assert union_measure([], (((0, 1)),) * 2) == 0.0
+
+    def test_single_covering_box(self):
+        region = ((0.0, 1.0), (0.0, 2.0))
+        assert union_measure([region], region) == pytest.approx(2.0)
+
+    def test_partial_cover(self):
+        region = ((0.0, 1.0), (0.0, 1.0))
+        box = ((0.0, 0.5), (0.0, 1.0))
+        assert union_measure([box], region) == pytest.approx(0.5)
+
+    def test_overlapping_boxes_not_double_counted(self):
+        region = ((0.0, 1.0),)
+        boxes = [((0.0, 0.6),), ((0.4, 1.0),)]
+        assert union_measure(boxes, region) == pytest.approx(1.0)
+
+    def test_disjoint_boxes_sum(self):
+        region = ((0.0, 1.0), (0.0, 1.0))
+        boxes = [((0.0, 0.25), (0.0, 1.0)), ((0.5, 0.75), (0.0, 1.0))]
+        assert union_measure(boxes, region) == pytest.approx(0.5)
+
+    def test_three_dims(self):
+        region = ((0.0, 1.0),) * 3
+        boxes = [((0.0, 1.0), (0.0, 1.0), (0.0, 0.5))]
+        assert union_measure(boxes, region) == pytest.approx(0.5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(0, 0.9), st.floats(0.05, 1.0),
+                st.floats(0, 0.9), st.floats(0.05, 1.0),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_monte_carlo_agreement(self, data):
+        """Union measure agrees with Monte-Carlo sampling in 2-D."""
+        boxes = []
+        for x0, dx, y0, dy in data:
+            boxes.append(((x0, min(1.0, x0 + dx)), (y0, min(1.0, y0 + dy))))
+        region = ((0.0, 1.0), (0.0, 1.0))
+        exact = union_measure(boxes, region)
+        rng = np.random.default_rng(0)
+        pts = rng.random((4000, 2))
+        hits = np.zeros(len(pts), dtype=bool)
+        for (xl, xh), (yl, yh) in boxes:
+            hits |= (
+                (pts[:, 0] >= xl) & (pts[:, 0] <= xh)
+                & (pts[:, 1] >= yl) & (pts[:, 1] <= yh)
+            )
+        assert exact == pytest.approx(hits.mean(), abs=0.05)
+
+
+class TestFaces:
+    def test_face_of(self):
+        zone = Zone([0, 0, 0], [1, 2, 3])
+        face = face_of(zone, 1, +1)
+        assert face.plane == 2.0
+        assert face.box == ((0.0, 1.0), (0.0, 3.0))
+        assert face.area() == pytest.approx(3.0)
+
+    def test_validation(self):
+        zone = Zone([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            face_of(zone, 0, 0)
+        with pytest.raises(ValueError):
+            face_of(zone, 5, 1)
+
+    def test_uncovered_fraction_simple(self):
+        zone = Zone([0, 0], [1, 1])
+        face = face_of(zone, 0, +1)  # the x=1 edge
+        half = Zone([1, 0], [2, 0.5])
+        assert uncovered_fraction(face, [half]) == pytest.approx(0.5)
+        full = Zone([1, 0], [2, 1])
+        assert uncovered_fraction(face, [full]) == pytest.approx(0.0)
+        wrong_side = Zone([2, 0], [3, 1])
+        assert uncovered_fraction(face, [wrong_side]) == pytest.approx(1.0)
+
+
+class TestFindGaps:
+    def _overlay(self, n=30, gpu_slots=0, seed=1):
+        space = ResourceSpace(gpu_slots=gpu_slots)
+        overlay = CanOverlay(space)
+        rng = np.random.default_rng(seed)
+        for i in range(n):
+            overlay.add_node(i, tuple(rng.random(space.dims) * 0.998 + 0.001))
+        return overlay
+
+    @pytest.mark.parametrize("gpu_slots", [0, 1, 2])
+    def test_complete_tables_have_no_gaps(self, gpu_slots):
+        overlay = self._overlay(25, gpu_slots)
+        dims = overlay.space.dims
+        lo, hi = [0.0] * dims, [1.0] * dims
+        for nid in overlay.alive_ids():
+            nbrs = [
+                z
+                for other in overlay.neighbors(nid)
+                for z in overlay.zones_of(other)
+            ]
+            assert not find_gaps(overlay.zones_of(nid), nbrs, lo, hi)
+
+    def test_missing_neighbor_detected(self):
+        overlay = self._overlay(25)
+        dims = overlay.space.dims
+        lo, hi = [0.0] * dims, [1.0] * dims
+        misses = 0
+        for nid in overlay.alive_ids():
+            neighbors = sorted(overlay.neighbors(nid))
+            for victim in neighbors[:2]:
+                reduced = [
+                    z
+                    for other in neighbors
+                    if other != victim
+                    for z in overlay.zones_of(other)
+                ]
+                if not find_gaps(overlay.zones_of(nid), reduced, lo, hi):
+                    misses += 1
+        assert misses == 0  # the detector is exact given true zones
+
+    def test_stale_zone_hides_gap(self):
+        """The detector's honest failure mode: a stale believed zone that
+        (wrongly) covers the vacated area suppresses detection."""
+        zone = Zone([0.0, 0.0], [0.5, 1.0])
+        true_neighbor = Zone([0.5, 0.0], [1.0, 0.5])  # covers only half
+        stale = Zone([0.5, 0.0], [1.0, 1.0])  # old, larger zone
+        gaps_with_truth = find_gaps([zone], [true_neighbor], [0, 0], [1, 1])
+        assert gaps_with_truth  # half the face is uncovered
+        gaps_with_stale = find_gaps([zone], [stale], [0, 0], [1, 1])
+        assert not gaps_with_stale  # stale record masks it
+
+    def test_outer_boundary_ignored(self):
+        zone = Zone([0.0, 0.0], [1.0, 1.0])
+        assert not find_gaps([zone], [], [0, 0], [1, 1])
+
+
+class TestProtocolIntegration:
+    def test_coverage_mode_matches_oracle_on_quiet_network(self):
+        from tests.can.test_heartbeat import build_protocol, run_rounds
+        from repro.can.heartbeat import HeartbeatScheme
+
+        for detection in ("coverage", "oracle"):
+            proto = build_protocol(
+                14, HeartbeatScheme.ADAPTIVE, detection=detection
+            )
+            run_rounds(proto, 3)
+            assert proto.count_broken_links() == 0
+            for nid in proto.nodes:
+                assert not proto._detects_gap(nid)
+
+    def test_coverage_detects_manual_break(self):
+        from tests.can.test_heartbeat import build_protocol
+        from repro.can.heartbeat import HeartbeatScheme
+
+        proto = build_protocol(
+            14, HeartbeatScheme.ADAPTIVE, detection="coverage"
+        )
+        a = sorted(proto.nodes)[0]
+        victim = sorted(proto.nodes[a].table.ids())[0]
+        proto.nodes[a].table.remove(victim)
+        assert proto._detects_gap(a)

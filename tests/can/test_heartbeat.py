@@ -1,0 +1,255 @@
+"""Unit and scenario tests for the heartbeat protocol engine."""
+
+import numpy as np
+import pytest
+
+from repro.can.heartbeat import (
+    HeartbeatProtocol,
+    HeartbeatScheme,
+    ProtocolConfig,
+)
+from repro.can.messages import MessageType
+from repro.can.overlay import CanOverlay
+from repro.can.space import ResourceSpace
+
+
+def build_protocol(n=12, scheme=HeartbeatScheme.VANILLA, seed=0, **cfg_kwargs):
+    space = ResourceSpace(gpu_slots=0)
+    overlay = CanOverlay(space)
+    config = ProtocolConfig(scheme=scheme, period=60.0, **cfg_kwargs)
+    proto = HeartbeatProtocol(overlay, config, rng=np.random.default_rng(seed))
+    rng = np.random.default_rng(seed)
+    coords = [tuple(rng.random(space.dims) * 0.998 + 0.001) for _ in range(n)]
+    proto.bootstrap(0, coords[0])
+    for i in range(1, n):
+        proto.join(i, coords[i], now=0.0)
+    return proto
+
+
+def run_rounds(proto, k, start=60.0, period=60.0):
+    t = start
+    for _ in range(k):
+        proto.run_round(t)
+        t += period
+    return t
+
+
+@pytest.mark.parametrize("scheme", list(HeartbeatScheme))
+class TestQuiescentCorrectness:
+    def test_join_builds_complete_tables(self, scheme):
+        proto = build_protocol(15, scheme)
+        assert proto.count_broken_links() == 0
+
+    def test_rounds_preserve_zero_broken_links(self, scheme):
+        proto = build_protocol(15, scheme)
+        run_rounds(proto, 5)
+        assert proto.count_broken_links() == 0
+
+    def test_tables_match_ground_truth_exactly(self, scheme):
+        proto = build_protocol(12, scheme)
+        run_rounds(proto, 3)
+        for nid, pnode in proto.nodes.items():
+            truth = proto.overlay.neighbors(nid)
+            assert pnode.table.ids() == truth, f"node {nid} table diverged"
+
+    def test_graceful_leave_no_broken_links(self, scheme):
+        proto = build_protocol(12, scheme)
+        run_rounds(proto, 2)
+        proto.graceful_leave(5, now=130.0)
+        proto.run_round(180.0)
+        assert proto.count_broken_links() == 0
+        assert 5 not in proto.nodes
+
+    def test_single_failure_recovers(self, scheme):
+        """Paper: 'none of the approaches suffers from broken links when
+        there are no simultaneous events.'"""
+        proto = build_protocol(12, scheme)
+        run_rounds(proto, 2)
+        proto.fail(3, now=125.0)
+        # detection timeout = 2.5 periods -> claimed within 3-4 rounds
+        run_rounds(proto, 5, start=180.0)
+        assert 3 not in proto.nodes
+        assert proto.count_broken_links() == 0
+
+
+class TestJoins:
+    def test_join_into_dead_zone_deferred_then_retried(self):
+        proto = build_protocol(8)
+        run_rounds(proto, 2)
+        victim = proto.overlay.locate_owner((0.5,) * 5)
+        proto.fail(victim, now=130.0)
+        assert not proto.join(99, (0.5,) * 5, now=131.0)  # deferred
+        assert 99 not in proto.nodes
+        run_rounds(proto, 6, start=180.0)
+        assert 99 in proto.nodes  # retried after the claim
+        assert proto.count_broken_links() == 0
+
+    def test_join_counts_messages(self):
+        proto = build_protocol(6)
+        proto.stats.reset_window(0.0, 6)
+        proto.join(100, (0.9,) * 5, now=10.0)
+        assert proto.stats.count[MessageType.JOIN_REPLY] == 1
+        assert proto.stats.count[MessageType.JOIN_NOTIFY] >= 1
+
+
+class TestFailureMachinery:
+    def test_takeover_claimant_stores_dead_table_compact(self):
+        """Compact's whole design: the take-over node received the dead
+        node's full table via its (targeted) full heartbeats."""
+        proto = build_protocol(12, HeartbeatScheme.COMPACT)
+        run_rounds(proto, 3)
+        victim = 4
+        targets = proto.overlay.takeover_targets(victim)
+        assert targets
+        for t in targets:
+            assert victim in proto.nodes[t].stored_tables
+        proto.fail(victim, now=250.0)
+        run_rounds(proto, 5, start=300.0)
+        assert victim not in proto.nodes
+        assert proto.count_broken_links() == 0
+
+    def test_ghost_is_silent_but_counted_as_target(self):
+        proto = build_protocol(10)
+        proto.stats.reset_window(0.0, 10)
+        proto.fail(2, now=10.0)
+        proto.run_round(60.0)
+        # messages to the dead node are sent (and lost) until timeout
+        assert proto.stats.count[MessageType.HEARTBEAT_FULL] > 0
+
+    def test_failure_detection_removes_entry(self):
+        proto = build_protocol(10)
+        run_rounds(proto, 2)
+        victim = 7
+        believers = [
+            nid
+            for nid, p in proto.nodes.items()
+            if victim in p.table and nid != victim
+        ]
+        assert believers
+        proto.fail(victim, now=125.0)
+        run_rounds(proto, 5, start=180.0)
+        for nid in believers:
+            if nid in proto.nodes:
+                assert victim not in proto.nodes[nid].table
+
+
+def _break_mutually(proto, a, b):
+    proto.nodes[a].table.remove(b)
+    proto.nodes[b].table.remove(a)
+    proto.nodes[a].gap_dirty = False
+    proto.nodes[b].gap_dirty = False
+
+
+def _adjacent_pair(proto):
+    for nid in sorted(proto.nodes):
+        for other in sorted(proto.overlay.neighbors(nid)):
+            if other > nid:
+                return nid, other
+    raise AssertionError("no adjacent pair")
+
+
+class TestRepairByScheme:
+    """The heart of Figure 7: who can heal a mutual broken link."""
+
+    def test_vanilla_repairs_mutual_break(self):
+        proto = build_protocol(14, HeartbeatScheme.VANILLA)
+        run_rounds(proto, 2)
+        a, b = _adjacent_pair(proto)
+        _break_mutually(proto, a, b)
+        assert proto.count_broken_links() == 2
+        run_rounds(proto, 2, start=200.0)
+        assert proto.count_broken_links() == 0
+
+    def test_compact_cannot_repair_mutual_break(self):
+        proto = build_protocol(14, HeartbeatScheme.COMPACT)
+        run_rounds(proto, 2)
+        a, b = _adjacent_pair(proto)
+        # avoid the pair that full-updates each other (take-over partners)
+        if b in proto.overlay.takeover_targets(a) or a in (
+            proto.overlay.takeover_targets(b)
+        ):
+            pairs = [
+                (x, y)
+                for x in sorted(proto.nodes)
+                for y in sorted(proto.overlay.neighbors(x))
+                if y > x
+                and y not in proto.overlay.takeover_targets(x)
+                and x not in proto.overlay.takeover_targets(y)
+            ]
+            a, b = pairs[0]
+        _break_mutually(proto, a, b)
+        run_rounds(proto, 4, start=200.0)
+        missing_a = proto._missing_neighbors(a)
+        missing_b = proto._missing_neighbors(b)
+        assert b in missing_a and a in missing_b  # still broken
+
+    def test_adaptive_repairs_after_request_reply(self):
+        proto = build_protocol(14, HeartbeatScheme.ADAPTIVE)
+        run_rounds(proto, 2)
+        a, b = _adjacent_pair(proto)
+        _break_mutually(proto, a, b)
+        proto.nodes[a].gap_dirty = True  # a detects its coverage gap
+        proto.nodes[a].gap_attempts = 0
+        run_rounds(proto, 3, start=200.0)
+        assert proto.count_broken_links() == 0
+        assert proto.stats.count[MessageType.FULL_UPDATE_REQUEST] > 0
+        assert proto.stats.count[MessageType.FULL_UPDATE_REPLY] > 0
+
+    def test_adaptive_gives_up_after_retry_budget(self):
+        proto = build_protocol(
+            14, HeartbeatScheme.ADAPTIVE, gap_retry_rounds=2
+        )
+        run_rounds(proto, 2)
+        a, b = _adjacent_pair(proto)
+        _break_mutually(proto, a, b)
+        # make the gap undetectable-on-b and unrepairable: remove b from
+        # every other table so no neighbor can answer for it
+        for nid, p in proto.nodes.items():
+            p.table.remove(b)
+            p.gap_dirty = False
+        proto.nodes[a].gap_dirty = True
+        before = proto.stats.count[MessageType.FULL_UPDATE_REQUEST]
+        run_rounds(proto, 6, start=200.0)
+        sent = proto.stats.count[MessageType.FULL_UPDATE_REQUEST] - before
+        # requests stop after the retry budget (here, <= 2 rounds' worth,
+        # plus any triggered by unrelated table changes)
+        assert sent <= 2 * len(proto.nodes[a].table) + 4
+
+
+class TestMessageAccounting:
+    def test_vanilla_heartbeats_all_full(self):
+        proto = build_protocol(10, HeartbeatScheme.VANILLA)
+        proto.stats.reset_window(0.0, 10)
+        proto.run_round(60.0)
+        assert proto.stats.count[MessageType.HEARTBEAT] == 0
+        expected = sum(len(p.table) for p in proto.nodes.values())
+        assert proto.stats.count[MessageType.HEARTBEAT_FULL] == expected
+
+    def test_compact_sends_few_full(self):
+        proto = build_protocol(10, HeartbeatScheme.COMPACT)
+        proto.stats.reset_window(0.0, 10)
+        proto.run_round(60.0)
+        full = proto.stats.count[MessageType.HEARTBEAT_FULL]
+        compact = proto.stats.count[MessageType.HEARTBEAT]
+        assert full > 0  # take-over targets still get full state
+        assert compact > full  # most heartbeats are compact
+
+    def test_compact_volume_much_smaller(self):
+        vol = {}
+        for scheme in (HeartbeatScheme.VANILLA, HeartbeatScheme.COMPACT):
+            proto = build_protocol(16, scheme, seed=2)
+            proto.stats.reset_window(0.0, 16)
+            run_rounds(proto, 3)
+            _, vol[scheme] = proto.stats.totals()
+        assert vol[HeartbeatScheme.COMPACT] < vol[HeartbeatScheme.VANILLA] / 2
+
+    def test_message_counts_similar_across_schemes(self):
+        counts = {}
+        for scheme in HeartbeatScheme:
+            proto = build_protocol(16, scheme, seed=2)
+            proto.stats.reset_window(0.0, 16)
+            run_rounds(proto, 3)
+            counts[scheme], _ = proto.stats.totals()
+        base = counts[HeartbeatScheme.VANILLA]
+        for scheme, c in counts.items():
+            assert abs(c - base) / base < 0.2, f"{scheme} count diverged"

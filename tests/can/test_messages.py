@@ -1,0 +1,72 @@
+"""Unit tests for the message size model (Figure 8(b)'s foundation)."""
+
+import numpy as np
+import pytest
+
+from repro.can.messages import MessageType, SizeModel
+
+
+class TestSizeModel:
+    def setup_method(self):
+        self.model = SizeModel()
+
+    def test_record_grows_linearly_with_dims(self):
+        sizes = [self.model.record_bytes(d) for d in (5, 8, 11, 14)]
+        diffs = np.diff(sizes)
+        assert np.allclose(diffs, diffs[0])  # exactly linear
+
+    def test_record_grows_with_zone_count(self):
+        assert self.model.record_bytes(11, zones=2) > self.model.record_bytes(11, 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            self.model.record_bytes(0)
+        with pytest.raises(ValueError):
+            self.model.record_bytes(5, zones=0)
+
+    def test_compact_heartbeat_is_linear_in_d(self):
+        sizes = [
+            self.model.heartbeat_bytes(d, 1, None) for d in (5, 8, 11, 14)
+        ]
+        diffs = np.diff(sizes)
+        assert np.allclose(diffs, diffs[0])
+
+    def test_full_heartbeat_is_quadratic_in_d(self):
+        """Neighbors scale with d, each record with d -> O(d^2) volume.
+
+        Fit: size(d) with k=2d neighbor records must grow superlinearly.
+        """
+        sizes = [
+            self.model.heartbeat_bytes(d, 1, [1] * (2 * d))
+            for d in (5, 8, 11, 14)
+        ]
+        growth = np.diff(sizes)
+        assert (np.diff(growth) > 0).all()  # increasing increments
+        # quadratic fit should dominate the linear term
+        coeffs = np.polyfit((5, 8, 11, 14), sizes, 2)
+        assert coeffs[0] > 0
+
+    def test_full_beats_compact(self):
+        assert self.model.heartbeat_bytes(11, 1, [1] * 20) > (
+            self.model.heartbeat_bytes(11, 1, None)
+        )
+
+    def test_table_bytes_counts_records(self):
+        empty = self.model.table_bytes(11, [])
+        three = self.model.table_bytes(11, [1, 1, 2])
+        assert empty == self.model.header_bytes
+        assert three == empty + 2 * self.model.record_bytes(11, 1) + (
+            self.model.record_bytes(11, 2)
+        )
+
+    def test_request_is_header_only(self):
+        assert self.model.request_bytes() == self.model.header_bytes
+
+    def test_notify_size(self):
+        assert self.model.notify_bytes(11) == (
+            self.model.header_bytes + 2 * self.model.record_bytes(11)
+        )
+
+    def test_message_types_enumerated(self):
+        assert len(MessageType) == 8
+        assert MessageType.HEARTBEAT.value == "heartbeat"

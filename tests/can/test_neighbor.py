@@ -1,0 +1,136 @@
+"""Unit tests for believed neighbor tables."""
+
+import pytest
+
+from repro.can.geometry import Zone
+from repro.can.neighbor import BeliefRecord, NeighborTable
+
+
+def record(nid=1, version=0, lo=(1.0, 0.0), hi=(2.0, 1.0)):
+    return BeliefRecord(
+        node_id=nid, version=version, zones=(Zone(lo, hi),), coord=(1.5, 0.5)
+    )
+
+
+OWN = [Zone((0.0, 0.0), (1.0, 1.0))]
+
+
+class TestBeliefRecord:
+    def test_abuts_any(self):
+        assert record().abuts_any(OWN)
+        far = record(lo=(5.0, 0.0), hi=(6.0, 1.0))
+        assert not far.abuts_any(OWN)
+
+    def test_zone_count(self):
+        assert record().zone_count == 1
+
+
+class TestUpsert:
+    def test_insert_and_get(self):
+        t = NeighborTable()
+        assert t.upsert(record(), now=10.0, heard=True)
+        assert 1 in t
+        assert t.get(1).version == 0
+        assert t.last_heard(1) == 10.0
+        assert len(t) == 1
+
+    def test_newer_version_wins(self):
+        t = NeighborTable()
+        t.upsert(record(version=2), 0.0, heard=True)
+        assert not t.upsert(record(version=1), 1.0)  # older rejected
+        assert t.get(1).version == 2
+        assert t.upsert(record(version=3), 2.0)
+        assert t.get(1).version == 3
+
+    def test_gossip_does_not_refresh_liveness(self):
+        t = NeighborTable()
+        t.upsert(record(version=0), 0.0, heard=True)
+        t.upsert(record(version=0), 50.0, heard=False, heard_at=0.0)
+        assert t.last_heard(1) == 0.0
+
+    def test_gossip_freshness_moves_forward_only(self):
+        t = NeighborTable()
+        t.upsert(record(), 0.0, heard=True)
+        t.upsert(record(), 60.0, heard=False, heard_at=40.0)
+        assert t.last_heard(1) == 40.0
+        t.upsert(record(), 70.0, heard=False, heard_at=10.0)
+        assert t.last_heard(1) == 40.0  # never backwards
+
+    def test_stale_gossip_cannot_insert(self):
+        t = NeighborTable(freshness_ttl=100.0)
+        assert not t.upsert(record(), now=500.0, heard=False, heard_at=10.0)
+        assert 1 not in t
+        # fresh gossip can
+        assert t.upsert(record(), now=500.0, heard=False, heard_at=450.0)
+
+    def test_direct_contact_always_inserts(self):
+        t = NeighborTable(freshness_ttl=1.0)
+        assert t.upsert(record(), now=1000.0, heard=True)
+
+    def test_epoch_bumps_on_change_only(self):
+        t = NeighborTable()
+        e0 = t.epoch
+        t.upsert(record(version=1), 0.0, heard=True)
+        e1 = t.epoch
+        assert e1 > e0
+        t.upsert(record(version=1), 5.0, heard=True)  # same content
+        assert t.epoch == e1
+        t.upsert(record(version=2), 6.0, heard=True)
+        assert t.epoch > e1
+
+
+class TestLifecycle:
+    def test_remove(self):
+        t = NeighborTable()
+        t.upsert(record(), 0.0, heard=True)
+        assert t.remove(1)
+        assert 1 not in t
+        assert not t.remove(1)
+
+    def test_stale_ids(self):
+        t = NeighborTable()
+        t.upsert(record(nid=1), 0.0, heard=True)
+        t.upsert(record(nid=2, lo=(0.0, 1.0), hi=(1.0, 2.0)), 80.0, heard=True)
+        assert t.stale_ids(now=100.0, timeout=50.0) == [1]
+
+    def test_touch(self):
+        t = NeighborTable()
+        t.upsert(record(), 0.0, heard=True)
+        t.touch(1, 30.0)
+        assert t.last_heard(1) == 30.0
+        t.touch(99, 30.0)  # unknown: no-op
+
+    def test_prune_non_abutting(self):
+        t = NeighborTable()
+        t.upsert(record(nid=1), 0.0, heard=True)
+        t.upsert(record(nid=2, lo=(7.0, 7.0), hi=(8.0, 8.0)), 0.0, heard=True)
+        gone = t.prune_non_abutting(OWN)
+        assert gone == [2]
+        assert t.ids() == {1}
+
+
+class TestSnapshot:
+    def test_snapshot_contents(self):
+        t = NeighborTable()
+        t.upsert(record(), 12.0, heard=True)
+        snap = t.snapshot()
+        rec, heard_at = snap[1]
+        assert rec.node_id == 1
+        assert heard_at == 12.0
+
+    def test_snapshot_cached_until_mutation(self):
+        t = NeighborTable()
+        t.upsert(record(), 0.0, heard=True)
+        s1 = t.snapshot()
+        assert t.snapshot() is s1  # cached
+        t.touch(1, 5.0)
+        s2 = t.snapshot()
+        assert s2 is not s1
+        assert s2[1][1] == 5.0
+
+    def test_snapshot_invalidated_by_remove(self):
+        t = NeighborTable()
+        t.upsert(record(), 0.0, heard=True)
+        s1 = t.snapshot()
+        t.remove(1)
+        assert 1 not in t.snapshot()

@@ -1,0 +1,69 @@
+"""Unit tests for message-cost accounting."""
+
+import pytest
+
+from repro.can.messages import MessageType
+from repro.can.stats import MessageStats
+
+
+class TestMessageStats:
+    def test_record_and_totals(self):
+        s = MessageStats()
+        s.record(MessageType.HEARTBEAT, 100, copies=3)
+        s.record(MessageType.HEARTBEAT_FULL, 1000)
+        msgs, vol = s.totals()
+        assert msgs == 4
+        assert vol == 1300
+
+    def test_negative_rejected(self):
+        s = MessageStats()
+        with pytest.raises(ValueError):
+            s.record(MessageType.HEARTBEAT, -1)
+        with pytest.raises(ValueError):
+            s.record(MessageType.HEARTBEAT, 1, copies=-1)
+
+    def test_zero_copies_noop(self):
+        s = MessageStats()
+        s.record(MessageType.HEARTBEAT, 500, copies=0)
+        assert s.totals() == (0, 0)
+
+    def test_rates_per_node_minute(self):
+        s = MessageStats()
+        s.track_population(0.0, 10)
+        s.record(MessageType.HEARTBEAT, 1024, copies=20)
+        rates = s.rates(now=60.0)  # 10 nodes for 1 minute
+        assert rates.node_minutes == pytest.approx(10.0)
+        assert rates.messages_per_node_minute == pytest.approx(2.0)
+        assert rates.kbytes_per_node_minute == pytest.approx(2.0)
+        assert rates.by_type == {"heartbeat": pytest.approx(2.0)}
+
+    def test_population_changes_integrate(self):
+        s = MessageStats()
+        s.track_population(0.0, 10)
+        s.track_population(30.0, 20)  # 10 nodes for 30s, then 20
+        s.record(MessageType.HEARTBEAT, 0, copies=15)
+        rates = s.rates(now=60.0)
+        assert rates.node_minutes == pytest.approx((10 * 30 + 20 * 30) / 60)
+
+    def test_empty_window_rejected(self):
+        s = MessageStats()
+        s.track_population(0.0, 5)
+        with pytest.raises(ValueError):
+            s.rates(now=0.0)
+
+    def test_reset_window(self):
+        s = MessageStats()
+        s.track_population(0.0, 10)
+        s.record(MessageType.JOIN_NOTIFY, 10, copies=100)
+        s.reset_window(100.0, 10)
+        s.record(MessageType.HEARTBEAT, 10, copies=5)
+        rates = s.rates(now=160.0)
+        msgs, _ = s.totals()
+        assert msgs == 5  # pre-reset messages dropped
+        assert rates.window_seconds == pytest.approx(60.0)
+
+    def test_time_backwards_rejected(self):
+        s = MessageStats()
+        s.track_population(10.0, 5)
+        with pytest.raises(ValueError):
+            s.track_population(5.0, 5)

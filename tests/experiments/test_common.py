@@ -1,0 +1,61 @@
+"""Unit tests for experiment-harness plumbing and public API surface."""
+
+import os
+
+import pytest
+
+from repro.experiments.common import (
+    SCHEMES,
+    WAIT_GRID,
+    experiment_argparser,
+    results_path,
+    timed,
+)
+
+
+class TestCommon:
+    def test_argparser_flags(self):
+        parser = experiment_argparser("desc")
+        args = parser.parse_args(["--fast", "--out", "o", "--seed", "7"])
+        assert args.fast and args.out == "o" and args.seed == 7
+        defaults = parser.parse_args([])
+        assert not defaults.fast and defaults.out == "results"
+        assert defaults.seed is None
+
+    def test_results_path_creates_dir(self, tmp_path):
+        p = results_path(str(tmp_path / "sub"), "x.csv")
+        assert os.path.isdir(tmp_path / "sub")
+        assert p.endswith("x.csv")
+
+    def test_timed_passes_through(self, capsys):
+        assert timed("label", lambda a, b: a + b, 1, 2) == 3
+
+    def test_wait_grid_matches_paper_axis(self):
+        assert WAIT_GRID[0] == 0.0
+        assert WAIT_GRID[-1] == 50_000.0  # Figures 5/6 x-axis limit
+        assert list(WAIT_GRID) == sorted(WAIT_GRID)
+
+    def test_schemes(self):
+        assert SCHEMES == ("can-het", "can-hom", "central")
+
+
+class TestPublicApi:
+    def test_top_level_namespaces(self):
+        import repro
+
+        for name in repro.__all__:
+            if name != "__version__":
+                assert getattr(repro, name) is not None
+
+    def test_all_exports_resolve(self):
+        import repro.analysis as analysis
+        import repro.can as can
+        import repro.gridsim as gridsim
+        import repro.model as model
+        import repro.sched as sched
+        import repro.sim as sim
+        import repro.workload as workload
+
+        for module in (analysis, can, gridsim, model, sched, sim, workload):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,100 @@
+"""Integration tests for the figure-regeneration harness (tiny configs)."""
+
+import os
+
+import pytest
+
+from repro.can.heartbeat import HeartbeatScheme
+from repro.experiments import ablations, fig5, fig6, fig7, fig8
+from repro.experiments.__main__ import main as cli_main
+from repro.gridsim import ChurnSimulation
+from repro.workload import TINY_LOAD
+
+
+@pytest.fixture(scope="module")
+def fig5_results():
+    return fig5.run(
+        preset=TINY_LOAD, interarrivals=(75.0,), schemes=("can-het", "central")
+    )
+
+
+class TestFig5:
+    def test_structure(self, fig5_results):
+        assert set(fig5_results) == {75.0}
+        assert set(fig5_results[75.0]) == {"can-het", "central"}
+
+    def test_report_and_csv(self, fig5_results, tmp_path):
+        text = fig5.report(fig5_results, str(tmp_path))
+        assert "Figure 5" in text
+        assert "can-het" in text and "central" in text
+        assert os.path.exists(tmp_path / "fig5_wait_time_cdf.csv")
+
+
+class TestFig6:
+    def test_run_and_report(self, tmp_path):
+        results = fig6.run(
+            preset=TINY_LOAD, ratios=(0.4,), schemes=("can-het",)
+        )
+        text = fig6.report(results, str(tmp_path))
+        assert "constraint ratio 40%" in text
+        assert os.path.exists(tmp_path / "fig6_wait_time_cdf.csv")
+
+
+class TestFig7:
+    def test_config_shapes(self):
+        cfg = fig7.fig7_config(HeartbeatScheme.VANILLA, fast=True)
+        assert cfg.dims == 11
+        assert cfg.event_gap_mean < cfg.heartbeat_period  # high churn
+        full = fig7.fig7_config(HeartbeatScheme.COMPACT, fast=False)
+        assert full.initial_nodes >= 250
+        assert full.duration >= 15_000
+
+    def test_report(self, tmp_path):
+        results = {}
+        for scheme in HeartbeatScheme:
+            cfg = fig7.fig7_config(scheme, fast=True, seed=1)
+            from dataclasses import replace
+
+            cfg = replace(cfg, initial_nodes=30, duration=1200.0)
+            results[scheme.value] = ChurnSimulation(cfg).run()
+        text = fig7.report(results, str(tmp_path))
+        assert "Figure 7" in text and "vanilla" in text
+        assert os.path.exists(tmp_path / "fig7_broken_links.csv")
+
+
+class TestFig8:
+    def test_run_and_report(self, tmp_path):
+        results = fig8.run(fast=True, node_sweep=(25,), gpu_slot_sweep=(0, 1))
+        assert len(results) == 2 * 3  # dims x schemes
+        dims = {key[2] for key in results}
+        assert dims == {5, 8}
+        text = fig8.report(results, str(tmp_path))
+        assert "Figure 8(a)" in text and "Figure 8(b)" in text
+        assert os.path.exists(tmp_path / "fig8_scalability.csv")
+
+    def test_fig8_config_slow_churn(self):
+        cfg = fig8.fig8_config(HeartbeatScheme.VANILLA, 500, 2)
+        assert cfg.event_gap_mean > cfg.heartbeat_period
+
+
+class TestAblations:
+    def test_single_ablation(self, tmp_path):
+        results = ablations.run(
+            preset=TINY_LOAD, ablations=("baseline", "acceptable-node")
+        )
+        text = ablations.report(results, str(tmp_path))
+        assert "acceptable-node" in text
+        assert os.path.exists(tmp_path / "ablations.csv")
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError):
+            ablations.run(preset=TINY_LOAD, ablations=("nonsense",))
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert cli_main([]) == 0
+        assert "fig5" in capsys.readouterr().out
+
+    def test_unknown_target(self, capsys):
+        assert cli_main(["nope"]) == 2

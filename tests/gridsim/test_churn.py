@@ -1,0 +1,109 @@
+"""Integration tests for the churn simulation."""
+
+import pytest
+
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import ChurnConfig, ChurnSimulation
+
+
+def quick_config(scheme=HeartbeatScheme.VANILLA, **kwargs):
+    defaults = dict(
+        initial_nodes=40,
+        gpu_slots=1,
+        scheme=scheme,
+        heartbeat_period=60.0,
+        event_gap_mean=30.0,
+        duration=2_400.0,
+    )
+    defaults.update(kwargs)
+    return ChurnConfig(**defaults)
+
+
+class TestChurnSimulation:
+    @pytest.mark.parametrize("scheme", list(HeartbeatScheme))
+    def test_smoke(self, scheme):
+        res = ChurnSimulation(quick_config(scheme)).run()
+        assert res.scheme == scheme.value
+        assert res.final_population > 10
+        assert res.broken_links_times.size > 10
+        assert res.rates.messages_per_node_minute > 0
+
+    def test_slow_graceful_churn_has_no_broken_links(self):
+        """Paper: no broken links without simultaneous events."""
+        cfg = quick_config(
+            scheme=HeartbeatScheme.COMPACT,
+            event_gap_mean=200.0,  # far slower than the heartbeat period
+            leave_mode="graceful",
+        )
+        res = ChurnSimulation(cfg).run()
+        assert res.broken_links_values.max() == 0
+
+    def test_high_churn_compact_worst(self):
+        results = {}
+        for scheme in HeartbeatScheme:
+            cfg = quick_config(scheme, event_gap_mean=10.0, duration=4000.0)
+            results[scheme] = ChurnSimulation(cfg).run()
+        compact = results[HeartbeatScheme.COMPACT].steady_state_broken_links()
+        vanilla = results[HeartbeatScheme.VANILLA].steady_state_broken_links()
+        adaptive = results[HeartbeatScheme.ADAPTIVE].steady_state_broken_links()
+        assert compact > vanilla
+        assert compact > adaptive
+
+    def test_compact_volume_smaller_than_vanilla(self):
+        vols = {}
+        for scheme in (HeartbeatScheme.VANILLA, HeartbeatScheme.COMPACT):
+            res = ChurnSimulation(quick_config(scheme)).run()
+            vols[scheme] = res.rates.kbytes_per_node_minute
+        assert vols[HeartbeatScheme.COMPACT] < vols[HeartbeatScheme.VANILLA] / 2
+
+    def test_population_stays_near_initial(self):
+        res = ChurnSimulation(quick_config()).run()
+        assert 20 <= res.final_population <= 80
+
+    def test_events_recorded(self):
+        res = ChurnSimulation(quick_config()).run()
+        assert res.events["joins"] >= 40  # bootstrap + churn joins
+        assert res.events["failures"] > 0
+        assert res.events["claims"] <= res.events["failures"]
+
+    def test_deterministic(self):
+        a = ChurnSimulation(quick_config()).run()
+        b = ChurnSimulation(quick_config()).run()
+        assert list(a.broken_links_values) == list(b.broken_links_values)
+        assert a.rates.messages_per_node_minute == pytest.approx(
+            b.rates.messages_per_node_minute
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(initial_nodes=1)
+        with pytest.raises(ValueError):
+            ChurnConfig(leave_mode="explode")
+        with pytest.raises(ValueError):
+            ChurnConfig(event_gap_mean=0)
+
+    def test_dims_property(self):
+        assert ChurnConfig(gpu_slots=0).dims == 5
+        assert ChurnConfig(gpu_slots=2).dims == 11
+
+
+class TestRoutingProbe:
+    def test_routing_success_rate_bounds(self):
+        sim = ChurnSimulation(quick_config(event_gap_mean=12.0))
+        sim.run()
+        rate = sim.routing_success_rate(samples=50)
+        assert 0.0 <= rate <= 1.0
+
+    def test_quiescent_routing_is_perfect(self):
+        cfg = quick_config(
+            event_gap_mean=500.0, leave_mode="graceful", duration=1200.0
+        )
+        sim = ChurnSimulation(cfg)
+        sim.run()
+        assert sim.routing_success_rate(samples=50) == 1.0
+
+    def test_sample_validation(self):
+        sim = ChurnSimulation(quick_config(duration=300.0))
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.routing_success_rate(samples=0)

@@ -1,0 +1,76 @@
+"""Tests for matchmaking under churn (the faulty-grid extension)."""
+
+import pytest
+
+from repro.gridsim import (
+    FaultyGridConfig,
+    FaultyGridSimulation,
+    MatchmakingConfig,
+)
+from repro.workload import TINY_LOAD
+
+
+def config(scheme="can-het", mtbf=600.0, mtbj=600.0, **kwargs):
+    return FaultyGridConfig(
+        MatchmakingConfig(TINY_LOAD, scheme=scheme),
+        mean_time_between_failures=mtbf,
+        mean_time_between_joins=mtbj,
+        **kwargs,
+    )
+
+
+class TestFaultyGrid:
+    @pytest.mark.parametrize("scheme", ["can-het", "can-hom", "central"])
+    def test_smoke_all_schemes(self, scheme):
+        res = FaultyGridSimulation(config(scheme)).run()
+        assert res.failures > 0
+        assert res.base.wait_times.size > 0
+
+    def test_lost_jobs_are_resubmitted(self):
+        res = FaultyGridSimulation(config()).run()
+        assert res.jobs_lost > 0
+        assert res.jobs_resubmitted + res.jobs_abandoned >= res.jobs_lost * 0.9
+
+    def test_resubmitted_jobs_complete(self):
+        sim = FaultyGridSimulation(config())
+        res = sim.run()
+        incomplete = [
+            j
+            for j in sim.jobs
+            if j.finish_time is None and j.run_node_id is not None
+        ]
+        assert not incomplete  # everything placed eventually finished
+
+    def test_population_floor_respected(self):
+        cfg = config(mtbf=50.0, mtbj=5000.0, min_population_fraction=0.6)
+        sim = FaultyGridSimulation(cfg)
+        res = sim.run()
+        assert res.final_population >= int(TINY_LOAD.nodes * 0.6)
+
+    def test_overlay_invariants_after_churny_run(self):
+        sim = FaultyGridSimulation(config(mtbf=300.0, mtbj=300.0))
+        sim.run()
+        sim.overlay.check_invariants()
+
+    def test_joins_extend_population(self):
+        cfg = config(mtbf=5000.0, mtbj=150.0)
+        res = FaultyGridSimulation(cfg).run()
+        assert res.joins > 0
+        assert res.final_population > TINY_LOAD.nodes
+
+    def test_summary_merges_ledger(self):
+        s = FaultyGridSimulation(config()).run().summary()
+        assert "jobs_lost" in s and "mean_wait" in s
+
+    def test_deterministic(self):
+        a = FaultyGridSimulation(config()).run().summary()
+        b = FaultyGridSimulation(config()).run().summary()
+        assert a == b
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            config(mtbf=0.0)
+        with pytest.raises(ValueError):
+            config(min_population_fraction=0.0)
+        with pytest.raises(ValueError):
+            config(max_placement_attempts=0)

@@ -1,0 +1,71 @@
+"""Unit tests for experiment metrics."""
+
+import numpy as np
+import pytest
+
+from repro.gridsim.metrics import (
+    cdf_at,
+    empirical_cdf,
+    jains_fairness,
+    queue_length_snapshot,
+    wait_time_table,
+)
+
+from tests.conftest import cpu_job, make_cpu, make_grid_node
+
+
+class TestCdf:
+    def test_empirical_cdf(self):
+        values, fractions = empirical_cdf([3, 1, 2])
+        assert list(values) == [1, 2, 3]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        values, fractions = empirical_cdf([])
+        assert values.size == 0 and fractions.size == 0
+        assert list(cdf_at([], [1, 2])) == [0.0, 0.0]
+
+    def test_cdf_at_thresholds(self):
+        fractions = cdf_at([0, 10, 20, 30], [5, 10, 100])
+        assert list(fractions) == pytest.approx([0.25, 0.5, 1.0])
+
+    def test_cdf_at_inclusive(self):
+        assert cdf_at([10.0], [10.0])[0] == 1.0
+
+    def test_wait_time_table_rows(self):
+        rows = wait_time_table([0, 0, 1000, 60000], grid=(0, 1000, 50000))
+        assert rows == [
+            (0.0, pytest.approx(50.0)),
+            (1000.0, pytest.approx(75.0)),
+            (50000.0, pytest.approx(75.0)),
+        ]
+
+
+class TestFairness:
+    def test_perfectly_balanced(self):
+        assert jains_fairness([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hotspot(self):
+        assert jains_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_degenerate(self):
+        assert jains_fairness([]) == 1.0
+        assert jains_fairness([0, 0]) == 1.0
+
+
+class TestQueueSnapshot:
+    def test_snapshot(self, env):
+        nodes = [make_grid_node(env, i, cpu=make_cpu(cores=1)) for i in range(3)]
+        nodes[0].submit(cpu_job(duration=1e5))
+        nodes[0].submit(cpu_job(duration=1e5))  # one queued
+        snap = queue_length_snapshot(nodes)
+        assert snap["max"] == 1.0
+        assert snap["mean"] == pytest.approx(1 / 3)
+        assert 0 < snap["fairness"] <= 1.0
+
+    def test_empty(self):
+        assert queue_length_snapshot([]) == {
+            "mean": 0.0,
+            "max": 0.0,
+            "fairness": 1.0,
+        }

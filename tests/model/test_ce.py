@@ -1,0 +1,109 @@
+"""Unit tests for computing elements."""
+
+import pytest
+
+from repro.model.ce import CESpec, ComputingElement, CPU_SLOT, gpu_slot
+
+from tests.conftest import cpu_job, make_cpu, make_gpu
+
+
+class TestCESpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CESpec(slot="", clock=1, memory=1, cores=1)
+        with pytest.raises(ValueError):
+            CESpec(slot="cpu", clock=0, memory=1, cores=1)
+        with pytest.raises(ValueError):
+            CESpec(slot="cpu", clock=1, memory=-1, cores=1)
+        with pytest.raises(ValueError):
+            CESpec(slot="cpu", clock=1, memory=1, cores=0)
+
+    def test_attribute_access(self):
+        spec = make_cpu(clock=2.0, memory=8.0, disk=100.0, cores=4)
+        assert spec.attribute("clock") == 2.0
+        assert spec.attribute("memory") == 8.0
+        assert spec.attribute("disk") == 100.0
+        assert spec.attribute("cores") == 4.0
+        with pytest.raises(KeyError):
+            spec.attribute("nope")
+
+    def test_gpu_slot_names(self):
+        assert gpu_slot(0) == "gpu0"
+        assert gpu_slot(2) == "gpu2"
+        with pytest.raises(ValueError):
+            gpu_slot(-1)
+
+
+class TestNonDedicatedCE:
+    def test_can_host_by_free_cores(self):
+        ce = ComputingElement(make_cpu(cores=4))
+        assert ce.can_host(4)
+        job = cpu_job(cores=3)
+        ce.attach(job, 3)
+        assert ce.can_host(1)
+        assert not ce.can_host(2)
+
+    def test_attach_detach_accounting(self):
+        ce = ComputingElement(make_cpu(cores=4))
+        j1, j2 = cpu_job(cores=2), cpu_job(cores=2)
+        ce.attach(j1, 2)
+        ce.attach(j2, 2)
+        assert ce.free_cores == 0
+        ce.detach(j1, 2)
+        assert ce.free_cores == 2
+        assert ce.running == [j2]
+
+    def test_attach_over_capacity_raises(self):
+        ce = ComputingElement(make_cpu(cores=2))
+        ce.attach(cpu_job(cores=2), 2)
+        with pytest.raises(RuntimeError):
+            ce.attach(cpu_job(cores=1), 1)
+
+    def test_utilization_score_equation2(self):
+        # (required cores / total cores) / clock
+        ce = ComputingElement(make_cpu(cores=4, clock=2.0))
+        ce.attach(cpu_job(cores=2), 2)
+        assert ce.utilization_score() == pytest.approx((2 / 4) / 2.0)
+
+    def test_required_cores_counts_waiting(self):
+        ce = ComputingElement(make_cpu(cores=4))
+        ce.attach(cpu_job(cores=2), 2)
+        ce.queue.append(cpu_job(cores=3))
+        assert ce.required_cores() == 5
+
+
+class TestDedicatedCE:
+    def test_single_job_at_a_time(self):
+        ce = ComputingElement(make_gpu(cores=128))
+        from tests.conftest import gpu_job
+
+        job = gpu_job(gpu_cores=64)
+        assert ce.can_host(64)
+        ce.attach(job, 64)
+        # plenty of cores left, but the CE is dedicated
+        assert not ce.can_host(1)
+
+    def test_utilization_score_equation1(self):
+        # job queue size / clock
+        from tests.conftest import gpu_job
+
+        ce = ComputingElement(make_gpu(clock=2.0))
+        ce.attach(gpu_job(gpu_cores=32), 32)
+        ce.queue.append(gpu_job(gpu_cores=32))
+        assert ce.utilization_score() == pytest.approx(2 / 2.0)
+
+    def test_idle(self):
+        ce = ComputingElement(make_gpu())
+        assert ce.idle
+        from tests.conftest import gpu_job
+
+        job = gpu_job()
+        ce.attach(job, 64)
+        assert not ce.idle
+        ce.detach(job, 64)
+        assert ce.idle
+
+    def test_invalid_core_request(self):
+        ce = ComputingElement(make_gpu())
+        with pytest.raises(ValueError):
+            ce.can_host(0)

@@ -1,0 +1,58 @@
+"""Unit tests for the contention model."""
+
+import pytest
+
+from repro.model.ce import ComputingElement
+from repro.model.contention import ContentionModel
+
+from tests.conftest import cpu_job, gpu_job, make_cpu, make_gpu
+
+
+class TestContentionModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentionModel(alpha=-0.1)
+        with pytest.raises(ValueError):
+            ContentionModel(max_factor=0.5)
+
+    def test_no_corunners_no_slowdown(self):
+        ce = ComputingElement(make_cpu(cores=4))
+        assert ContentionModel(alpha=0.5).factor(ce) == 1.0
+
+    def test_linear_in_corunners(self):
+        model = ContentionModel(alpha=0.2, max_factor=10.0)
+        ce = ComputingElement(make_cpu(cores=8))
+        ce.attach(cpu_job(), 1)
+        assert model.factor(ce) == pytest.approx(1.2)
+        ce.attach(cpu_job(), 1)
+        assert model.factor(ce) == pytest.approx(1.4)
+
+    def test_capped_at_max_factor(self):
+        model = ContentionModel(alpha=1.0, max_factor=2.0)
+        ce = ComputingElement(make_cpu(cores=8))
+        for _ in range(5):
+            ce.attach(cpu_job(), 1)
+        assert model.factor(ce) == 2.0
+
+    def test_dedicated_ce_never_contends(self):
+        model = ContentionModel(alpha=1.0)
+        ce = ComputingElement(make_gpu())
+        assert model.factor(ce) == 1.0
+
+    def test_execution_time_scales_with_clock(self):
+        model = ContentionModel(alpha=0.0)
+        slow = ComputingElement(make_cpu(clock=1.0))
+        fast = ComputingElement(make_cpu(clock=2.0))
+        assert model.execution_time(100.0, slow) == pytest.approx(100.0)
+        assert model.execution_time(100.0, fast) == pytest.approx(50.0)
+
+    def test_execution_time_includes_contention(self):
+        model = ContentionModel(alpha=0.5, max_factor=10.0)
+        ce = ComputingElement(make_cpu(clock=1.0, cores=4))
+        ce.attach(cpu_job(), 1)
+        assert model.execution_time(100.0, ce) == pytest.approx(150.0)
+
+    def test_invalid_duration(self):
+        ce = ComputingElement(make_cpu())
+        with pytest.raises(ValueError):
+            ContentionModel().execution_time(0.0, ce)

@@ -1,0 +1,74 @@
+"""Property-based tests: stores behave like their Python-list models."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Environment
+from repro.sim.queues import FifoStore, PriorityStore
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), st.integers(-100, 100)),
+            st.tuples(st.just("get"), st.just(0)),
+        ),
+        max_size=40,
+    )
+)
+def test_fifo_store_matches_deque_model(ops):
+    env = Environment()
+    store = FifoStore(env)
+    model = deque()
+    for op, value in ops:
+        if op == "put":
+            store.put(value)
+            model.append(value)
+        else:
+            got = store.try_get()
+            expected = model.popleft() if model else None
+            assert got == expected
+    assert store.items == list(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), st.integers(-100, 100)),
+            st.tuples(st.just("get"), st.just(0)),
+        ),
+        max_size=40,
+    )
+)
+def test_priority_store_matches_sorted_model(ops):
+    env = Environment()
+    store = PriorityStore(env)
+    model = []
+    for op, value in ops:
+        if op == "put":
+            store.put(value)
+            model.append(value)
+            model.sort()
+        else:
+            got = store.try_get()
+            expected = model.pop(0) if model else None
+            assert got == expected
+    assert store.items == model
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+)
+def test_events_fire_in_time_order(delays):
+    env = Environment()
+    fired = []
+    for d in delays:
+        env.schedule_callback(d, lambda d=d: fired.append(d))
+    env.run()
+    assert fired == sorted(fired)
+    assert env.now == max(delays)

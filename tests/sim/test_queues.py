@@ -1,0 +1,157 @@
+"""Unit tests for waitable stores and resources."""
+
+import pytest
+
+from repro.sim.core import SimulationError
+from repro.sim.queues import FifoStore, PriorityStore, Resource
+
+
+class TestFifoStore:
+    def test_put_then_get(self, env):
+        store = FifoStore(env)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def consumer(env, store):
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, env):
+        store = FifoStore(env)
+        got = []
+
+        def consumer(env, store):
+            got.append(((yield store.get()), env.now))
+
+        def producer(env, store):
+            yield env.timeout(4.0)
+            store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("late", 4.0)]
+
+    def test_try_get(self, env):
+        store = FifoStore(env)
+        assert store.try_get() is None
+        store.put(1)
+        assert store.try_get() == 1
+        assert store.try_get() is None
+
+    def test_capacity_blocks_put(self, env):
+        store = FifoStore(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("x")
+            log.append(("x", env.now))
+            yield store.put("y")
+            log.append(("y", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert log == [("x", 0.0), ("y", 3.0)]
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            FifoStore(env, capacity=0)
+
+    def test_items_snapshot(self, env):
+        store = FifoStore(env)
+        for i in range(3):
+            store.put(i)
+        assert store.items == [0, 1, 2]
+        assert len(store) == 3
+
+
+class TestPriorityStore:
+    def test_orders_by_value(self, env):
+        store = PriorityStore(env)
+        for v in (5, 1, 3):
+            store.put(v)
+        got = []
+
+        def consumer(env, store):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [1, 3, 5]
+
+    def test_blocking_get(self, env):
+        store = PriorityStore(env)
+        got = []
+
+        def consumer(env, store):
+            got.append((yield store.get()))
+
+        env.process(consumer(env, store))
+        env.schedule_callback(1.0, lambda: store.put(9))
+        env.run()
+        assert got == [9]
+
+    def test_try_get(self, env):
+        store = PriorityStore(env)
+        assert store.try_get() is None
+        store.put(2)
+        store.put(1)
+        assert store.try_get() == 1
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        ev1 = res.request()
+        ev2 = res.request()
+        assert ev1.triggered and ev2.triggered
+        assert res.available == 0
+
+    def test_waiter_fifo_order(self, env):
+        res = Resource(env, capacity=2)
+        log = []
+
+        def worker(env, res, name, amount, hold):
+            yield res.request(amount)
+            log.append((name, env.now))
+            yield env.timeout(hold)
+            res.release(amount)
+
+        env.process(worker(env, res, "a", 2, 5.0))
+        env.process(worker(env, res, "big", 2, 1.0))
+        env.process(worker(env, res, "small", 1, 1.0))
+        env.run()
+        # 'small' must not overtake 'big' even though one unit was free
+        assert log == [("a", 0.0), ("big", 5.0), ("small", 6.0)]
+
+    def test_release_too_much(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        res.release()
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_oversized_request_rejected(self, env):
+        res = Resource(env, capacity=2)
+        with pytest.raises(SimulationError):
+            res.request(3)
+
+    def test_invalid_args(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+        res = Resource(env, capacity=1)
+        with pytest.raises(ValueError):
+            res.request(0)
+        with pytest.raises(ValueError):
+            res.release(0)

@@ -1,0 +1,64 @@
+"""Unit tests for heterogeneous node generation."""
+
+import numpy as np
+import pytest
+
+from repro.model.ce import CPU_SLOT
+from repro.workload.nodes import NodeDistribution, generate_node_specs
+
+
+class TestGenerateNodeSpecs:
+    def test_count_and_ids(self, rng):
+        specs = generate_node_specs(50, 2, rng, first_id=100)
+        assert len(specs) == 50
+        assert [s.node_id for s in specs] == list(range(100, 150))
+
+    def test_every_node_has_cpu(self, rng):
+        for spec in generate_node_specs(40, 2, rng):
+            assert spec.ce_spec(CPU_SLOT) is not None
+
+    def test_core_counts_match_paper(self, rng):
+        """Section V-A: single-/multi-core CPU with 1, 2, 4 or 8 cores."""
+        cores = {
+            s.cpu.cores for s in generate_node_specs(300, 2, rng)
+        }
+        assert cores <= {1, 2, 4, 8}
+        assert len(cores) >= 3  # the mix is actually mixed
+
+    def test_up_to_two_gpu_types(self, rng):
+        specs = generate_node_specs(300, 2, rng)
+        gpu_counts = [len(s.ces) - 1 for s in specs]
+        assert max(gpu_counts) <= 2
+        assert any(c == 0 for c in gpu_counts)
+        assert any(c == 1 for c in gpu_counts)
+        assert any(c == 2 for c in gpu_counts)
+
+    def test_gpus_are_dedicated(self, rng):
+        for spec in generate_node_specs(100, 2, rng):
+            for ce in spec.ces:
+                if ce.slot != CPU_SLOT:
+                    assert ce.dedicated
+
+    def test_zero_gpu_slots(self, rng):
+        specs = generate_node_specs(30, 0, rng)
+        assert all(len(s.ces) == 1 for s in specs)
+
+    def test_capability_skew_is_low_heavy(self, rng):
+        """Most nodes low-capability, few high (Section V-A)."""
+        clocks = np.array(
+            [s.cpu.clock for s in generate_node_specs(500, 0, rng)]
+        )
+        assert np.median(clocks) < clocks.mean() + 0.5
+        assert (clocks < 1.5).mean() > 0.4
+        assert (clocks > 2.5).mean() < 0.25
+
+    def test_deterministic(self):
+        a = generate_node_specs(20, 2, np.random.default_rng(5))
+        b = generate_node_specs(20, 2, np.random.default_rng(5))
+        assert a == b
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_node_specs(0, 2, rng)
+        with pytest.raises(ValueError):
+            generate_node_specs(10, -1, rng)
