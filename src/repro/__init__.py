@@ -17,15 +17,16 @@ Quick start::
     print(result.summary())
 """
 
-from . import analysis, can, gridsim, model, sched, sim, workload
+from . import analysis, can, gridsim, model, obs, sched, sim, workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "can",
     "gridsim",
     "model",
+    "obs",
     "sched",
     "sim",
     "workload",

@@ -1,7 +1,14 @@
 """Reporting: CDFs, text tables, ASCII plots, CSV export."""
 
-from .export import results_dir, write_csv
+from .export import atomic_write_text, results_dir, write_csv, write_json
 from .plotting import ascii_plot
 from .tables import format_table
 
-__all__ = ["results_dir", "write_csv", "ascii_plot", "format_table"]
+__all__ = [
+    "results_dir",
+    "write_csv",
+    "write_json",
+    "atomic_write_text",
+    "ascii_plot",
+    "format_table",
+]

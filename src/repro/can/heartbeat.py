@@ -152,10 +152,14 @@ class HeartbeatProtocol:
         overlay: CanOverlay,
         config: ProtocolConfig,
         rng: Optional["np.random.Generator"] = None,
+        tracer: Optional[object] = None,
     ):
         self.overlay = overlay
         self.config = config
         self._rng = rng
+        #: optional repro.obs.Tracer; None keeps every emit site to a
+        #: single attribute test (the default, benchmark-grade path)
+        self.tracer = tracer
         self.stats = MessageStats()
         self.nodes: Dict[int, ProtocolNode] = {}
         self.broken_links = TimeSeries("broken_links")
@@ -169,6 +173,20 @@ class HeartbeatProtocol:
         #: next round's messages (one heartbeat period of latency)
         self._reply_queue: List[Tuple[int, BeliefRecord, TableSnapshot]] = []
         self.events = {"joins": 0, "leaves": 0, "failures": 0, "claims": 0}
+
+    def _record(
+        self, now: float, mtype: MessageType, size_bytes: int, copies: int = 1
+    ) -> None:
+        """Account a send in MessageStats and mirror it onto the tracer.
+
+        Emitting from the same call site that feeds the stats keeps traces
+        consistent with :class:`MessageStats` by construction.
+        """
+        self.stats.record(mtype, size_bytes, copies)
+        if self.tracer is not None and copies:
+            self.tracer.emit(
+                now, "msg.sent", mtype=mtype.value, bytes=size_bytes, copies=copies
+            )
 
     # ------------------------------------------------------------------ topology --
     def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None:
@@ -185,8 +203,14 @@ class HeartbeatProtocol:
             # The containing zone belongs to a failed-but-unclaimed node;
             # retry once the take-over has happened.
             self._pending_joins.append((node_id, coord))
+            if self.tracer is not None:
+                self.tracer.emit(now, "can.join_deferred", node=node_id)
             return False
         self.events["joins"] += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "can.join", node=node_id, splitter=result.splitter_id
+            )
         newcomer = ProtocolNode(node_id, self.config.failure_timeout)
         self.nodes[node_id] = newcomer
         splitter = self.nodes[result.splitter_id]
@@ -203,7 +227,8 @@ class HeartbeatProtocol:
             for rec, heard_at in splitter.table.snapshot().values()
             if rec.abuts_any(new_zones)
         ]
-        self.stats.record(
+        self._record(
+            now,
             MessageType.JOIN_REPLY,
             model.table_bytes(dims, [r.zone_count for r, _ in slice_records] + [1]),
         )
@@ -223,8 +248,8 @@ class HeartbeatProtocol:
 
         # Join notify: splitter announces its new zone and the newcomer to
         # its (pre-split) believed neighbors.
-        self.stats.record(
-            MessageType.JOIN_NOTIFY, model.notify_bytes(dims), copies=len(notify_ids)
+        self._record(
+            now, MessageType.JOIN_NOTIFY, model.notify_bytes(dims), len(notify_ids)
         )
         splitter_record = splitter.own_record(self.overlay)
         for target_id in notify_ids:
@@ -240,13 +265,16 @@ class HeartbeatProtocol:
         leaver = self.nodes[node_id]
         transfers = self.overlay.graceful_leave(node_id)
         self.events["leaves"] += 1
+        if self.tracer is not None:
+            self.tracer.emit(now, "can.leave", node=node_id)
         model = self.config.size_model
         dims = self.overlay.space.dims
         leaver_table = leaver.table.snapshot()
         for transfer in transfers:
             claimant = self.nodes[transfer.to_node]
             claimant.bump_version()
-            self.stats.record(
+            self._record(
+                now,
                 MessageType.HANDOFF,
                 model.table_bytes(dims, [rec.zone_count for rec, _ in leaver_table.values()]),
             )
@@ -261,6 +289,8 @@ class HeartbeatProtocol:
         self.overlay.fail(node_id)
         self.events["failures"] += 1
         self._fail_times[node_id] = now
+        if self.tracer is not None:
+            self.tracer.emit(now, "can.fail", node=node_id)
 
     # ------------------------------------------------------------------ the round --
     def run_round(self, now: float) -> None:
@@ -275,7 +305,16 @@ class HeartbeatProtocol:
         self._claim_timed_out_zones(now)
         if self.config.scheme is HeartbeatScheme.ADAPTIVE:
             self._adaptive_gap_checks(now)
-        self.broken_links.record(now, float(self.count_broken_links()))
+        broken = self.count_broken_links()
+        self.broken_links.record(now, float(broken))
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "hb.round",
+                round=self._round,
+                population=len(self.overlay.alive_ids()),
+                broken_links=broken,
+            )
 
     # -- heartbeat exchange ---------------------------------------------------------
     def _exchange_heartbeats(self, now: float) -> None:
@@ -302,11 +341,11 @@ class HeartbeatProtocol:
                 tset = takeovers.get(node_id, set())
                 full_targets = [t for t in targets if t in tset]
                 compact_targets = [t for t in targets if t not in tset]
-            self.stats.record(
-                MessageType.HEARTBEAT_FULL, full_size, copies=len(full_targets)
+            self._record(
+                now, MessageType.HEARTBEAT_FULL, full_size, len(full_targets)
             )
-            self.stats.record(
-                MessageType.HEARTBEAT, compact_size, copies=len(compact_targets)
+            self._record(
+                now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
             )
             for target_id in full_targets:
                 receiver = self._deliverable(target_id)
@@ -423,6 +462,10 @@ class HeartbeatProtocol:
             for stale_id in pnode.table.stale_ids(now, timeout):
                 pnode.table.remove(stale_id, now)
                 pnode.gap_dirty = True
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now, "hb.failure_detected", node=node_id, suspect=stale_id
+                    )
 
     def _claim_timed_out_zones(self, now: float) -> None:
         """Execute predetermined take-overs for detected failures.
@@ -446,6 +489,14 @@ class HeartbeatProtocol:
                     continue  # claimant itself died in the same window
                 claimant.bump_version()
                 known_table = claimant.stored_tables.get(dead_id)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        "hb.takeover",
+                        claimant=claimant.node_id,
+                        dead=dead_id,
+                        informed=known_table is not None,
+                    )
                 self._claim_zone(claimant, dead_id, transfer, known_table, now)
             del self._fail_times[dead_id]
             del self.nodes[dead_id]
@@ -490,8 +541,8 @@ class HeartbeatProtocol:
             if rec.node_id not in (claimant.node_id, vacated_id)
             and any(z.abuts(transfer.zone) for z in rec.zones)
         )
-        self.stats.record(
-            MessageType.TAKEOVER_NOTIFY, model.notify_bytes(dims), copies=len(targets)
+        self._record(
+            now, MessageType.TAKEOVER_NOTIFY, model.notify_bytes(dims), len(targets)
         )
         claim_record = claimant.own_record(self.overlay)
         for target_id in targets:
@@ -523,20 +574,26 @@ class HeartbeatProtocol:
                 pnode.gap_dirty = False
                 pnode.gap_attempts = 0
                 continue
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "hb.gap_found", node=node_id, attempt=pnode.gap_attempts + 1
+                )
             # Broadcast a full-update request to every believed neighbor;
             # each live one answers with its full table.
             targets = sorted(pnode.table.ids())
-            self.stats.record(
+            self._record(
+                now,
                 MessageType.FULL_UPDATE_REQUEST,
                 model.request_bytes(),
-                copies=len(targets),
+                len(targets),
             )
             for target_id in targets:
                 responder = self._deliverable(target_id)
                 if responder is None:
                     continue
                 records = responder.table.records()
-                self.stats.record(
+                self._record(
+                    now,
                     MessageType.FULL_UPDATE_REPLY,
                     model.table_bytes(dims, [r.zone_count for r in records] + [1]),
                 )
@@ -561,6 +618,11 @@ class HeartbeatProtocol:
             self._receive_record(receiver, own_record, now)
             self._absorb_table(receiver, snapshot, now)
             if not self._detects_gap(receiver_id):
+                if (
+                    self.tracer is not None
+                    and (receiver.gap_attempts or receiver.gap_dirty)
+                ):
+                    self.tracer.emit(now, "hb.gap_repaired", node=receiver_id)
                 receiver.gap_attempts = 0
                 receiver.gap_dirty = False
 

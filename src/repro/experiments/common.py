@@ -5,22 +5,32 @@ results and ``main(argv)`` that prints the paper-comparable tables/plots and
 writes CSVs under ``results/``.  ``--fast`` runs a scaled-down configuration
 with the same structure (used by CI, benchmarks and quick sanity checks);
 the full configuration matches the paper's Section V setup.
+
+Observability: ``main`` wires a :class:`repro.obs.RunRecorder` so each
+invocation writes a JSONL trace (``results/<name>_trace.jsonl``) and a run
+manifest (``results/<name>_run.manifest.json``) alongside its CSVs; pass
+``--no-trace`` to skip both.  Progress lines go through a
+:class:`repro.obs.ProgressReporter`, which the ``REPRO_QUIET`` environment
+variable silences (the benchmark suite relies on this).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
-import sys
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
-import numpy as np
+from ..obs import ProgressReporter, RunRecorder
 
 __all__ = [
     "experiment_argparser",
     "timed",
     "results_path",
+    "reporter",
+    "recorder_for",
+    "config_dict",
     "WAIT_GRID",
     "SCHEMES",
 ]
@@ -42,6 +52,14 @@ WAIT_GRID: Tuple[float, ...] = (
 #: matchmaker line-up of Figures 5 and 6
 SCHEMES: Tuple[str, ...] = ("can-het", "can-hom", "central")
 
+#: process-wide default reporter; quietness re-read from REPRO_QUIET per call
+_REPORTER = ProgressReporter()
+
+
+def reporter() -> ProgressReporter:
+    """The harness's shared progress reporter."""
+    return _REPORTER
+
 
 def experiment_argparser(description: str) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=description)
@@ -58,7 +76,29 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, help="override the experiment seed"
     )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip writing the JSONL trace and run manifest",
+    )
     return parser
+
+
+def recorder_for(args: argparse.Namespace, name: str) -> RunRecorder:
+    """A RunRecorder honouring the parsed --out/--seed/--no-trace flags."""
+    return RunRecorder(
+        args.out,
+        name,
+        seed=getattr(args, "seed", None),
+        enabled=not getattr(args, "no_trace", False),
+    )
+
+
+def config_dict(cfg: Any) -> Dict[str, Any]:
+    """A JSON-able view of an experiment config (dataclasses flattened)."""
+    if dataclasses.is_dataclass(cfg) and not isinstance(cfg, type):
+        return dataclasses.asdict(cfg)
+    return {"repr": repr(cfg)}
 
 
 def results_path(out_dir: str, name: str) -> str:
@@ -66,12 +106,17 @@ def results_path(out_dir: str, name: str) -> str:
     return os.path.join(out_dir, name)
 
 
-def timed(label: str, fn: Callable, *args, **kwargs):
-    """Run ``fn`` with a wall-clock progress line on stderr."""
+def timed(
+    label: str,
+    fn: Callable,
+    *args: Any,
+    progress: Optional[ProgressReporter] = None,
+    **kwargs: Any,
+):
+    """Run ``fn`` with a wall-clock progress line (stderr + trace)."""
+    rep = progress if progress is not None else _REPORTER
     start = time.time()
-    print(f"[{label}] running ...", file=sys.stderr, flush=True)
+    rep.start(label)
     result = fn(*args, **kwargs)
-    print(
-        f"[{label}] done in {time.time() - start:.1f}s", file=sys.stderr, flush=True
-    )
+    rep.done(label, time.time() - start)
     return result

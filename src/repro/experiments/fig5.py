@@ -15,8 +15,17 @@ import numpy as np
 from ..analysis import ascii_plot, format_table, write_csv
 from ..gridsim import GridSimulation, MatchmakingConfig, cdf_at
 from ..gridsim.results import MatchmakingResult
+from ..obs import RunRecorder
 from ..workload import PAPER_LOAD, SMALL_LOAD
-from .common import SCHEMES, WAIT_GRID, experiment_argparser, results_path, timed
+from .common import (
+    SCHEMES,
+    WAIT_GRID,
+    config_dict,
+    experiment_argparser,
+    recorder_for,
+    results_path,
+    timed,
+)
 
 __all__ = ["run", "main", "INTERARRIVALS"]
 
@@ -33,6 +42,7 @@ def run(
     preset=None,
     interarrivals: Sequence[float] | None = None,
     schemes: Sequence[str] = SCHEMES,
+    recorder: RunRecorder | None = None,
 ) -> Dict[float, Dict[str, MatchmakingResult]]:
     """All (inter-arrival, scheme) runs, keyed by inter-arrival then scheme."""
     if preset is None:
@@ -41,13 +51,23 @@ def run(
         preset = preset.with_seed(seed)
     if interarrivals is None:
         interarrivals = FAST_INTERARRIVALS if fast else INTERARRIVALS
+    tracer = recorder.tracer if recorder is not None else None
     out: Dict[float, Dict[str, MatchmakingResult]] = {}
     for gap in interarrivals:
         out[gap] = {}
         for scheme in schemes:
             cfg = MatchmakingConfig(preset.with_interarrival(gap), scheme=scheme)
             label = f"fig5 arrival={gap:g}s {scheme}"
-            out[gap][scheme] = timed(label, lambda c=cfg: GridSimulation(c).run())
+            if recorder is not None:
+                recorder.run_start(label, scheme=scheme, interarrival=gap)
+            sim = GridSimulation(cfg, tracer=tracer)
+            out[gap][scheme] = timed(label, sim.run)
+            if recorder is not None:
+                recorder.run_end(label, t=sim.env.now)
+                recorder.manifest.metrics[label] = sim.metrics.snapshot(
+                    now=sim.env.now
+                )
+                recorder.manifest.config.setdefault(scheme, config_dict(cfg))
     return out
 
 
@@ -95,8 +115,13 @@ def report(
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
-    results = run(fast=args.fast, seed=args.seed)
-    print(report(results, args.out))
+    with recorder_for(args, "fig5") as rec:
+        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        print(report(results, args.out))
+        rec.close(
+            config={"fast": args.fast},
+            artifacts=["fig5_wait_time_cdf.csv"],
+        )
     return 0
 
 

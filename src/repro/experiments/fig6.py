@@ -16,8 +16,17 @@ import numpy as np
 from ..analysis import ascii_plot, format_table, write_csv
 from ..gridsim import GridSimulation, MatchmakingConfig, cdf_at
 from ..gridsim.results import MatchmakingResult
+from ..obs import RunRecorder
 from ..workload import PAPER_LOAD, SMALL_LOAD
-from .common import SCHEMES, WAIT_GRID, experiment_argparser, results_path, timed
+from .common import (
+    SCHEMES,
+    WAIT_GRID,
+    config_dict,
+    experiment_argparser,
+    recorder_for,
+    results_path,
+    timed,
+)
 
 __all__ = ["run", "main", "CONSTRAINT_RATIOS"]
 
@@ -31,12 +40,14 @@ def run(
     preset=None,
     ratios: Sequence[float] = CONSTRAINT_RATIOS,
     schemes: Sequence[str] = SCHEMES,
+    recorder: RunRecorder | None = None,
 ) -> Dict[float, Dict[str, MatchmakingResult]]:
     """All (constraint ratio, scheme) runs."""
     if preset is None:
         preset = SMALL_LOAD if fast else PAPER_LOAD
     if seed is not None:
         preset = preset.with_seed(seed)
+    tracer = recorder.tracer if recorder is not None else None
     out: Dict[float, Dict[str, MatchmakingResult]] = {}
     for ratio in ratios:
         out[ratio] = {}
@@ -45,7 +56,16 @@ def run(
                 preset.with_constraint_ratio(ratio), scheme=scheme
             )
             label = f"fig6 ratio={int(ratio * 100)}% {scheme}"
-            out[ratio][scheme] = timed(label, lambda c=cfg: GridSimulation(c).run())
+            if recorder is not None:
+                recorder.run_start(label, scheme=scheme, constraint_ratio=ratio)
+            sim = GridSimulation(cfg, tracer=tracer)
+            out[ratio][scheme] = timed(label, sim.run)
+            if recorder is not None:
+                recorder.run_end(label, t=sim.env.now)
+                recorder.manifest.metrics[label] = sim.metrics.snapshot(
+                    now=sim.env.now
+                )
+                recorder.manifest.config.setdefault(scheme, config_dict(cfg))
     return out
 
 
@@ -95,8 +115,13 @@ def report(
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
-    results = run(fast=args.fast, seed=args.seed)
-    print(report(results, args.out))
+    with recorder_for(args, "fig6") as rec:
+        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        print(report(results, args.out))
+        rec.close(
+            config={"fast": args.fast},
+            artifacts=["fig6_wait_time_cdf.csv"],
+        )
     return 0
 
 

@@ -19,7 +19,14 @@ from ..analysis import ascii_plot, format_table, write_csv
 from ..can.heartbeat import HeartbeatScheme
 from ..gridsim import ChurnConfig, ChurnSimulation
 from ..gridsim.results import ChurnResult
-from .common import experiment_argparser, results_path, timed
+from ..obs import RunRecorder
+from .common import (
+    config_dict,
+    experiment_argparser,
+    recorder_for,
+    results_path,
+    timed,
+)
 
 __all__ = ["run", "main", "fig7_config"]
 
@@ -57,14 +64,27 @@ def fig7_config(
 
 
 def run(
-    fast: bool = False, seed: int | None = None
+    fast: bool = False,
+    seed: int | None = None,
+    recorder: RunRecorder | None = None,
 ) -> Dict[str, ChurnResult]:
+    tracer = recorder.tracer if recorder is not None else None
     out: Dict[str, ChurnResult] = {}
     for scheme in HeartbeatScheme:
         cfg = fig7_config(scheme, fast=fast, seed=seed)
-        out[scheme.value] = timed(
-            f"fig7 {scheme.value}", lambda c=cfg: ChurnSimulation(c).run()
-        )
+        label = f"fig7:{scheme.value}"
+        if recorder is not None:
+            recorder.run_start(label, scheme=scheme.value)
+        sim = ChurnSimulation(cfg, tracer=tracer)
+        out[scheme.value] = timed(f"fig7 {scheme.value}", sim.run)
+        if recorder is not None:
+            recorder.run_end(label, t=sim.env.now)
+            recorder.manifest.metrics[label] = sim.metrics.snapshot(
+                now=sim.env.now
+            )
+            recorder.manifest.config.setdefault(
+                scheme.value, config_dict(cfg)
+            )
     return out
 
 
@@ -122,8 +142,13 @@ def report(results: Dict[str, ChurnResult], out_dir: str) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
-    results = run(fast=args.fast, seed=args.seed)
-    print(report(results, args.out))
+    with recorder_for(args, "fig7") as rec:
+        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        print(report(results, args.out))
+        rec.close(
+            config={"fast": args.fast},
+            artifacts=["fig7_broken_links.csv"],
+        )
     return 0
 
 

@@ -20,7 +20,14 @@ from ..analysis import ascii_plot, format_table, write_csv
 from ..can.heartbeat import HeartbeatScheme
 from ..gridsim import ChurnConfig, ChurnSimulation
 from ..gridsim.results import ChurnResult
-from .common import experiment_argparser, results_path, timed
+from ..obs import RunRecorder
+from .common import (
+    config_dict,
+    experiment_argparser,
+    recorder_for,
+    results_path,
+    timed,
+)
 
 __all__ = ["run", "main", "GPU_SLOT_SWEEP", "NODE_SWEEP"]
 
@@ -65,18 +72,35 @@ def run(
     seed: int | None = None,
     node_sweep: Sequence[int] | None = None,
     gpu_slot_sweep: Sequence[int] = GPU_SLOT_SWEEP,
+    recorder: RunRecorder | None = None,
 ) -> Dict[Tuple[str, int, int], ChurnResult]:
     """Results keyed by (scheme, nodes, dims)."""
     if node_sweep is None:
         node_sweep = FAST_NODE_SWEEP if fast else NODE_SWEEP
+    tracer = recorder.tracer if recorder is not None else None
     out: Dict[Tuple[str, int, int], ChurnResult] = {}
     for scheme in HeartbeatScheme:
         for nodes in node_sweep:
             for gpu_slots in gpu_slot_sweep:
                 cfg = fig8_config(scheme, nodes, gpu_slots, fast=fast, seed=seed)
                 label = f"fig8 {scheme.value} n={nodes} d={cfg.dims}"
-                result = timed(label, lambda c=cfg: ChurnSimulation(c).run())
-                out[(scheme.value, nodes, cfg.dims)] = result
+                if recorder is not None:
+                    recorder.run_start(
+                        label,
+                        scheme=scheme.value,
+                        nodes=nodes,
+                        dims=cfg.dims,
+                    )
+                sim = ChurnSimulation(cfg, tracer=tracer)
+                out[(scheme.value, nodes, cfg.dims)] = timed(label, sim.run)
+                if recorder is not None:
+                    recorder.run_end(label, t=sim.env.now)
+                    recorder.manifest.metrics[label] = sim.metrics.snapshot(
+                        now=sim.env.now
+                    )
+                    recorder.manifest.config.setdefault(
+                        label, config_dict(cfg)
+                    )
     return out
 
 
@@ -142,8 +166,13 @@ def report(results: Dict[Tuple[str, int, int], ChurnResult], out_dir: str) -> st
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
-    results = run(fast=args.fast, seed=args.seed)
-    print(report(results, args.out))
+    with recorder_for(args, "fig8") as rec:
+        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        print(report(results, args.out))
+        rec.close(
+            config={"fast": args.fast},
+            artifacts=["fig8_scalability.csv"],
+        )
     return 0
 
 

@@ -18,6 +18,7 @@ import numpy as np
 from ..can.heartbeat import HeartbeatProtocol, ProtocolConfig
 from ..can.overlay import CanOverlay
 from ..can.space import ResourceSpace
+from ..obs.registry import MetricsRegistry
 from ..sim.core import Environment
 from ..sim.rng import RngRegistry
 from ..workload.nodes import NodeDistribution, generate_node_specs
@@ -34,10 +35,12 @@ class ChurnSimulation:
         self,
         config: ChurnConfig,
         node_dist: Optional[NodeDistribution] = None,
+        tracer=None,
     ):
         self.config = config
         self.rngs = RngRegistry(config.seed)
-        self.env = Environment()
+        self.tracer = tracer
+        self.env = Environment(tracer=tracer)
         self.space = ResourceSpace(gpu_slots=config.gpu_slots)
         self.overlay = CanOverlay(self.space)
         self.protocol = HeartbeatProtocol(
@@ -50,6 +53,13 @@ class ChurnSimulation:
                 periodic_gap_check_every=config.periodic_gap_check_every,
                 detection=config.detection,
             ),
+            tracer=tracer,
+        )
+        self.metrics = MetricsRegistry()
+        proto_scope = self.metrics.scope("protocol")
+        proto_scope.register("broken_links", self.protocol.broken_links)
+        self._population = proto_scope.timeweighted(
+            "population", value=0.0
         )
         self._node_dist = node_dist or NodeDistribution()
         self._next_id = itertools.count()
@@ -78,6 +88,7 @@ class ChurnSimulation:
         for _ in range(self.config.initial_nodes - 1):
             node_id, coord = self._new_coord()
             self.protocol.join(node_id, coord, now=0.0)
+        self._population.update(0.0, float(len(self.overlay.alive_ids())))
 
     def _round_process(self):
         cfg = self.config
@@ -118,6 +129,9 @@ class ChurnSimulation:
                 self.protocol.fail(victim, now=self.env.now)
             else:
                 self.protocol.graceful_leave(victim, now=self.env.now)
+        self._population.update(
+            self.env.now, float(len(self.overlay.alive_ids()))
+        )
 
     def routing_success_rate(self, samples: int = 200) -> float:
         """Fraction of believed-table greedy routes that deliver.

@@ -101,8 +101,9 @@ class FaultyGridSimulation(GridSimulation):
         config: FaultyGridConfig,
         node_dist: Optional[NodeDistribution] = None,
         job_dist: Optional[JobDistribution] = None,
+        tracer=None,
     ):
-        super().__init__(config.matchmaking, node_dist, job_dist)
+        super().__init__(config.matchmaking, node_dist, job_dist, tracer=tracer)
         self.fault_config = config
         self._node_dist = node_dist or NodeDistribution()
         self._next_node_id = itertools.count(
@@ -114,6 +115,7 @@ class FaultyGridSimulation(GridSimulation):
         self.jobs_resubmitted = 0
         self.jobs_abandoned = 0
         self._attempts: Dict[int, int] = {}
+        self._churn_counter = self.metrics.scope("grid").counter("churn")
 
     # ------------------------------------------------------------------ churn --
     def _churn_processes(self):
@@ -162,6 +164,15 @@ class FaultyGridSimulation(GridSimulation):
         del self.grid_nodes[victim_id]
         self.failures += 1
         self.jobs_lost += len(lost)
+        self._churn_counter.add("failures")
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "grid.crash", node=victim_id, jobs_lost=len(lost)
+            )
+            for job in lost:
+                self.tracer.emit(
+                    self.env.now, "grid.job_lost", job=job.job_id, node=victim_id
+                )
         for job in lost:
             self._schedule_resubmission(job)
 
@@ -182,6 +193,9 @@ class FaultyGridSimulation(GridSimulation):
             spec, self.env, contention=self.config.contention
         )
         self.joins += 1
+        self._churn_counter.add("joins")
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now, "grid.join", node=spec.node_id)
 
     # ------------------------------------------------------------------ jobs --
     def _schedule_resubmission(self, job: Job) -> None:
@@ -200,6 +214,14 @@ class FaultyGridSimulation(GridSimulation):
         self._attempts[job.job_id] = attempts
         if attempts > cfg.max_placement_attempts:
             self.jobs_abandoned += 1
+            self._churn_counter.add("jobs_abandoned")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.env.now,
+                    "grid.job_abandoned",
+                    job=job.job_id,
+                    attempts=attempts - 1,
+                )
             return
         node = self.matchmaker.place(job)
         if node is None:
@@ -208,6 +230,11 @@ class FaultyGridSimulation(GridSimulation):
             )
             return
         self.jobs_resubmitted += 1
+        self._churn_counter.add("jobs_resubmitted")
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now, "grid.job_resubmit", job=job.job_id, attempt=attempts
+            )
         node.submit(job)
 
     def _work_remaining(self) -> bool:

@@ -23,6 +23,7 @@ from ..model.job import Job
 from ..model.node import GridNode, NodeSpec
 from ..sched.base import Matchmaker
 from ..sched.can_het import CanHetMatchmaker
+from ..obs.registry import MetricsRegistry
 from ..sched.can_hom import CanHomMatchmaker
 from ..sched.central import CentralMatchmaker
 from ..sim.core import Environment
@@ -75,11 +76,14 @@ class GridSimulation:
         config: MatchmakingConfig,
         node_dist: Optional[NodeDistribution] = None,
         job_dist: Optional[JobDistribution] = None,
+        tracer=None,
     ):
         self.config = config
         preset = config.preset
         self.rngs = RngRegistry(preset.seed)
-        self.env = Environment()
+        self.tracer = tracer
+        self.env = Environment(tracer=tracer)
+        self.metrics = MetricsRegistry()
         self.space = ResourceSpace(gpu_slots=preset.gpu_slots)
 
         self.specs = generate_node_specs(
@@ -106,8 +110,10 @@ class GridSimulation:
         )
         self.aggregation = AggregationEngine(self.overlay, self.grid_nodes)
         self.matchmaker = self._build_matchmaker()
+        self.matchmaker.attach_tracer(tracer, lambda: self.env.now)
         self.unplaced = 0
         self._submitted = 0
+        self._job_counter = self.metrics.scope("grid").counter("jobs")
 
     # -- wiring ------------------------------------------------------------------
     def _build_matchmaker(self) -> Matchmaker:
@@ -142,9 +148,11 @@ class GridSimulation:
             if delay > 0:
                 yield self.env.timeout(delay)
             self._submitted += 1
+            self._job_counter.add("submitted")
             node = self.matchmaker.place(job)
             if node is None:
                 self.unplaced += 1
+                self._job_counter.add("unplaced")
             else:
                 node.submit(job)
 

@@ -1,0 +1,43 @@
+"""repro.obs — structured tracing, metrics, and run manifests.
+
+The observability layer for the whole simulation stack:
+
+* :mod:`~repro.obs.events` — :class:`TraceEvent`, :class:`EventBus`, and
+  the :class:`Tracer` handle components hold (zero-cost when absent);
+* :mod:`~repro.obs.registry` — :class:`MetricsRegistry`, hierarchical
+  names over the ``sim.monitor`` primitives with JSON-able snapshots;
+* :mod:`~repro.obs.trace` — JSONL export and the per-run
+  :class:`RunRecorder` harness;
+* :mod:`~repro.obs.manifest` — :class:`RunManifest` (config, seeds,
+  git describe, wall time, event counts) written next to result CSVs;
+* :mod:`~repro.obs.progress` — :class:`ProgressReporter`, the bus-backed
+  replacement for ad-hoc stderr progress prints;
+* :mod:`~repro.obs.summarize` — offline trace analysis, also available as
+  ``python -m repro.obs summarize <trace.jsonl>``.
+"""
+
+from .events import EV, EventBus, TraceEvent, Tracer
+from .manifest import RunManifest, git_describe
+from .progress import ProgressReporter, quiet_from_env
+from .registry import MetricsRegistry
+from .summarize import TraceSummary, render_summary, summarize_events, summarize_file
+from .trace import JsonlTraceWriter, RunRecorder, read_trace
+
+__all__ = [
+    "EV",
+    "EventBus",
+    "TraceEvent",
+    "Tracer",
+    "MetricsRegistry",
+    "JsonlTraceWriter",
+    "RunRecorder",
+    "read_trace",
+    "RunManifest",
+    "git_describe",
+    "ProgressReporter",
+    "quiet_from_env",
+    "TraceSummary",
+    "summarize_events",
+    "summarize_file",
+    "render_summary",
+]

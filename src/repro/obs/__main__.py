@@ -1,0 +1,50 @@
+"""CLI entry point: ``python -m repro.obs <command>``.
+
+Commands:
+
+    summarize <trace.jsonl> [...]   per-event-type counts, message-volume
+                                    breakdowns per run/scheme, and push-hop
+                                    histograms for one or more trace files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .summarize import render_summary, summarize_file
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect observability artifacts (JSONL traces).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    p_sum = sub.add_parser(
+        "summarize", help="summarise one or more JSONL trace files"
+    )
+    p_sum.add_argument("traces", nargs="+", help="path(s) to *_trace.jsonl")
+    args = parser.parse_args(argv)
+
+    if args.command != "summarize":
+        parser.print_help()
+        return 2
+    status = 0
+    for i, path in enumerate(args.traces):
+        try:
+            summary = summarize_file(path)
+        except (OSError, ValueError) as exc:
+            # ValueError covers JSONDecodeError from corrupt/truncated lines
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if i:
+            print()
+        print(render_summary(summary, path))
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

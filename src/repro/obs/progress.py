@@ -1,0 +1,86 @@
+"""Human-facing progress reporting, backed by the same event bus.
+
+Replaces the historical ``print(..., file=sys.stderr)`` lines in the
+experiment harness.  A :class:`ProgressReporter` writes one-line progress
+to a stream (stderr by default) *and* mirrors each report as a
+``run.progress`` event when a tracer is attached, so traces record the
+harness's phase transitions alongside the simulation events.
+
+Silencing: pass ``quiet=True``, or set the ``REPRO_QUIET`` environment
+variable to any non-empty value other than ``0`` — the benchmark suite
+does this so timing runs stay free of terminal I/O.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Callable, Optional, TextIO
+
+from .events import Tracer
+
+__all__ = ["ProgressReporter", "quiet_from_env"]
+
+
+def quiet_from_env(default: bool = False) -> bool:
+    """True when ``REPRO_QUIET`` requests silence."""
+    raw = os.environ.get("REPRO_QUIET")
+    if raw is None:
+        return default
+    return raw.strip() not in ("", "0", "false", "no")
+
+
+class ProgressReporter:
+    """Labelled start/done/info lines with optional trace mirroring."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        quiet: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self._stream = stream
+        #: None defers to REPRO_QUIET at report time, so long-lived
+        #: reporters pick up fixture/benchmark environment changes
+        self._quiet = quiet
+        self.tracer = tracer
+
+    @property
+    def quiet(self) -> bool:
+        return quiet_from_env() if self._quiet is None else self._quiet
+
+    @quiet.setter
+    def quiet(self, value: Optional[bool]) -> None:
+        self._quiet = value
+
+    def _emit(self, label: str, status: str, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(0.0, "run.progress", label=label, status=status, **fields)
+        if self.quiet:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        extra = ""
+        if "seconds" in fields:
+            extra = f" in {fields['seconds']:.1f}s"
+        elif "message" in fields:
+            extra = f" {fields['message']}"
+        print(f"[{label}] {status}{extra}", file=stream, flush=True)
+
+    # -- the three report shapes the harness uses -----------------------------
+    def start(self, label: str) -> None:
+        self._emit(label, "running ...")
+
+    def done(self, label: str, seconds: float) -> None:
+        self._emit(label, "done", seconds=seconds)
+
+    def info(self, label: str, message: str) -> None:
+        self._emit(label, "info", message=message)
+
+    def timed(self, label: str, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` bracketed by start/done reports; return its result."""
+        start = time.time()
+        self.start(label)
+        result = fn(*args, **kwargs)
+        self.done(label, time.time() - start)
+        return result

@@ -1,0 +1,141 @@
+"""JSONL trace export and the per-run recording harness.
+
+:class:`JsonlTraceWriter` is a bus subscriber that serialises every event
+as one JSON object per line.  Serialisation is canonical (sorted keys,
+compact separators), so a deterministic simulation produces a
+byte-identical trace file — the determinism tests diff the raw bytes.
+
+:class:`RunRecorder` bundles what every experiment wants: a tracer wired
+to a JSONL writer, plus a manifest that is finalised (event counts,
+wall time, artifact list) and atomically written when the recorder closes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Optional
+
+from .events import EventBus, TraceEvent, Tracer
+from .manifest import RunManifest
+
+__all__ = ["JsonlTraceWriter", "RunRecorder", "read_trace"]
+
+
+class JsonlTraceWriter:
+    """Subscribe me to a bus; I stream events to a ``.jsonl`` file."""
+
+    def __init__(self, path: str):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w")
+        self.lines = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace writer for {self.path!r} is closed")
+        self._fh.write(
+            json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+        )
+        self._fh.write("\n")
+        self.lines += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_trace(path: str):
+    """Yield event dicts from a JSONL trace file."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+class RunRecorder:
+    """Tracer + JSONL writer + manifest for one experiment invocation.
+
+    >>> rec = RunRecorder("results", "fig7", seed=1)     # doctest: +SKIP
+    >>> sim = ChurnSimulation(cfg, tracer=rec.tracer)    # doctest: +SKIP
+    >>> rec.close(config={...})                          # doctest: +SKIP
+
+    When ``enabled`` is false every attribute still works but ``tracer``
+    is ``None`` and nothing is written — callers can wire unconditionally.
+    """
+
+    def __init__(
+        self,
+        out_dir: str,
+        name: str,
+        seed: Optional[int] = None,
+        enabled: bool = True,
+    ):
+        self.out_dir = out_dir
+        self.name = name
+        self.enabled = enabled
+        self.tracer: Optional[Tracer] = None
+        self.writer: Optional[JsonlTraceWriter] = None
+        self.manifest = RunManifest(name=name, seed=seed)
+        if enabled:
+            self.trace_path = os.path.join(out_dir, f"{name}_trace.jsonl")
+            self.manifest_path = os.path.join(out_dir, f"{name}_run.manifest.json")
+            self.writer = JsonlTraceWriter(self.trace_path)
+            self.tracer = Tracer(EventBus())
+            self.tracer.subscribe(self.writer)
+        else:
+            self.trace_path = None
+            self.manifest_path = None
+
+    def run_start(self, label: str, **fields: Any) -> None:
+        """Mark the start of one sub-run (e.g. one scheme) in the trace."""
+        if self.tracer is not None:
+            self.tracer.emit(0.0, "run.start", label=label, **fields)
+
+    def run_end(self, label: str, t: float = 0.0, **fields: Any) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(t, "run.end", label=label, **fields)
+
+    def close(
+        self,
+        config: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+        artifacts: Optional[list] = None,
+    ) -> Optional[str]:
+        """Flush the trace and atomically write the manifest.
+
+        Returns the manifest path (``None`` when recording is disabled).
+        """
+        if not self.enabled:
+            return None
+        if config:
+            self.manifest.config.update(config)
+        if metrics:
+            self.manifest.metrics.update(metrics)
+        if self.writer is not None:
+            self.writer.close()
+        self.manifest.event_counts = dict(sorted(self.tracer.counts.items()))
+        self.manifest.artifacts = sorted(
+            set(
+                (artifacts or [])
+                + [os.path.basename(self.trace_path)]
+            )
+        )
+        return self.manifest.write(self.manifest_path)
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.enabled and self.writer is not None and self.writer._fh is not None:
+            self.close()

@@ -37,30 +37,73 @@ class MatchmakingStats:
 
 
 class Matchmaker(abc.ABC):
-    """Chooses a run node for each submitted job."""
+    """Chooses a run node for each submitted job.
+
+    ``tracer``/``clock`` are optional observability wiring (see
+    :meth:`attach_tracer`): when set, placement decisions and push hops
+    are emitted as ``mm.*`` trace events stamped with the simulation time.
+    """
 
     name: str = "matchmaker"
 
     def __init__(self) -> None:
         self.stats = MatchmakingStats()
+        self.tracer = None
+        self.clock = None
 
     @abc.abstractmethod
     def place(self, job: Job) -> Optional[GridNode]:
         """Return the run node for ``job``, or ``None`` when unplaceable."""
 
+    def attach_tracer(self, tracer, clock=None) -> None:
+        """Wire a :class:`repro.obs.Tracer` plus a ``() -> now`` clock."""
+        self.tracer = tracer
+        self.clock = clock
+
+    def _t(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _trace_push(self, job: Job, frm: int, to: int, dim: int) -> None:
+        self.tracer.emit(
+            self._t(), "mm.push", job=job.job_id, frm=frm, to=to, dim=dim
+        )
+
     def _record_placement(
-        self, node: Optional[GridNode], job: Job, hops: int
+        self,
+        node: Optional[GridNode],
+        job: Job,
+        hops: int,
+        score: Optional[float] = None,
     ) -> Optional[GridNode]:
         if node is None:
             self.stats.unplaced += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self._t(), "mm.unplaced", job=job.job_id, hops=hops
+                )
             return None
         self.stats.placed += 1
         self.stats.total_push_hops += hops
         job.push_hops = hops
-        if node.is_free():
+        free = node.is_free()
+        acceptable = False
+        if free:
             self.stats.placed_on_free += 1
         elif node.is_acceptable(job):
+            acceptable = True
             self.stats.placed_on_acceptable += 1
+        if self.tracer is not None:
+            fields = dict(
+                job=job.job_id,
+                node=node.node_id,
+                hops=hops,
+                free=free,
+                acceptable=acceptable,
+                scheme=self.name,
+            )
+            if score is not None:
+                fields["score"] = score
+            self.tracer.emit(self._t(), "mm.placed", **fields)
         return node
 
 

@@ -84,7 +84,9 @@ class CanHetMatchmaker(Matchmaker):
                 chosen = self._select_min_score(capable, job)
                 if chosen is None:
                     chosen = self._fallback(origin, job)
-                return self._record_placement(chosen, job, hops)
+                return self._record_placement(
+                    chosen, job, hops, score=self._score_of(chosen, job)
+                )
             target_id, dim = target
             ai = self.aggregation.advertised(target_id, dim)
             p_stop = stop_probability(
@@ -92,9 +94,12 @@ class CanHetMatchmaker(Matchmaker):
             )
             if capable and self.rng.random() < p_stop:
                 self.stats.stopped_probabilistically += 1
+                chosen = self._select_min_score(capable, job)
                 return self._record_placement(
-                    self._select_min_score(capable, job), job, hops
+                    chosen, job, hops, score=self._score_of(chosen, job)
                 )
+            if self.tracer is not None:
+                self._trace_push(job, current, target_id, dim)
             current = target_id
             visited.add(current)
             hops += 1
@@ -104,7 +109,19 @@ class CanHetMatchmaker(Matchmaker):
         chosen = self._select_min_score(capable, job)
         if chosen is None:
             chosen = self._fallback(origin, job)
-        return self._record_placement(chosen, job, hops)
+        return self._record_placement(
+            chosen, job, hops, score=self._score_of(chosen, job)
+        )
+
+    def _score_of(self, node: Optional[GridNode], job: Job) -> Optional[float]:
+        """Equation 1/2 score for the trace; only computed when tracing."""
+        if self.tracer is None or node is None:
+            return None
+        if self.use_dominant_ce:
+            return node_score(node, job)
+        from .score import pooled_node_score
+
+        return pooled_node_score(node)
 
     def _fallback(self, origin: int, job: Job) -> Optional[GridNode]:
         """Expanding-ring search when the push walk met no capable node."""

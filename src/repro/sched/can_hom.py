@@ -90,6 +90,8 @@ class CanHomMatchmaker(Matchmaker):
                 return self._record_placement(
                     self._select_min_score(capable), job, hops
                 )
+            if self.tracer is not None:
+                self._trace_push(job, current, target_id, dim)
             current = target_id
             visited.add(current)
             hops += 1

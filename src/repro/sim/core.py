@@ -304,13 +304,21 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation clock plus the pending-event queue."""
+    """The simulation clock plus the pending-event queue.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``tracer`` is an optional :class:`repro.obs.Tracer`.  The kernel never
+    emits on it itself — it is the well-known place components sharing an
+    environment find the run's tracer (``env.tracer``), and it stays
+    ``None`` unless observability was requested, so instrumented call
+    sites cost one attribute test on the default path.
+    """
+
+    def __init__(self, initial_time: float = 0.0, tracer: Optional[Any] = None):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self.tracer = tracer
 
     @property
     def now(self) -> float:

@@ -1,0 +1,74 @@
+"""Atomicity and schema guarantees of the CSV/JSON writers."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.analysis import atomic_write_text, write_csv, write_json
+
+
+class TestAtomicWriteText:
+    def test_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "out.txt")
+        assert atomic_write_text(path, "hello") == path
+        assert open(path).read() == "hello"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert open(path).read() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path, monkeypatch):
+        """If the rename step dies, the old file survives and no temp stays."""
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "precious")
+
+        def broken_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(path, "half-written")
+        monkeypatch.undo()
+        assert open(path).read() == "precious"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "deep" / "out.csv")
+        write_csv(path, ["a", "b"], [(1, 2), (3, 4)])
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_row_width_mismatch_rejected_before_touching_file(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ["a", "b"], [(1, 2)])
+        with pytest.raises(ValueError):
+            write_csv(path, ["a", "b"], [(1, 2), (3,)])
+        with open(path, newline="") as fh:
+            assert list(csv.reader(fh)) == [["a", "b"], ["1", "2"]]
+
+
+class TestWriteJson:
+    def test_sorted_pretty_round_trip(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        write_json(path, {"b": 1, "a": {"z": [1, 2]}})
+        raw = open(path).read()
+        assert raw.endswith("\n")
+        assert raw.index('"a"') < raw.index('"b"')
+        assert json.loads(raw) == {"b": 1, "a": {"z": [1, 2]}}
+
+    def test_non_json_values_stringified(self, tmp_path):
+        path = str(tmp_path / "m.json")
+        write_json(path, {"when": complex(1, 2)})
+        assert json.loads(open(path).read())["when"] == "(1+2j)"

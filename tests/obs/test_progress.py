@@ -1,0 +1,75 @@
+"""Progress reporting: stream output, REPRO_QUIET, trace mirroring."""
+
+import io
+
+from repro.obs import ProgressReporter, Tracer, quiet_from_env
+
+
+class TestQuietFromEnv:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_QUIET", raising=False)
+        assert quiet_from_env() is False
+        assert quiet_from_env(default=True) is True
+
+    def test_truthy_values(self, monkeypatch):
+        for raw in ("1", "yes", "true", "anything"):
+            monkeypatch.setenv("REPRO_QUIET", raw)
+            assert quiet_from_env() is True, raw
+
+    def test_falsy_values(self, monkeypatch):
+        for raw in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_QUIET", raw)
+            assert quiet_from_env() is False, raw
+
+
+class TestProgressReporter:
+    def test_start_done_format(self):
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out, quiet=False)
+        rep.start("fig7 vanilla")
+        rep.done("fig7 vanilla", 1.25)
+        rep.info("fig7 vanilla", "settling")
+        lines = out.getvalue().splitlines()
+        assert lines[0] == "[fig7 vanilla] running ..."
+        assert lines[1] == "[fig7 vanilla] done in 1.2s"
+        assert lines[2] == "[fig7 vanilla] info settling"
+
+    def test_quiet_suppresses_output(self):
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out, quiet=True)
+        rep.start("x")
+        rep.done("x", 0.1)
+        assert out.getvalue() == ""
+
+    def test_env_quiet_is_read_per_call(self, monkeypatch):
+        """A long-lived reporter honours REPRO_QUIET set after creation."""
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out)
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        rep.start("x")
+        assert out.getvalue() == ""
+        monkeypatch.setenv("REPRO_QUIET", "0")
+        rep.start("y")
+        assert "[y] running ..." in out.getvalue()
+
+    def test_explicit_quiet_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        out = io.StringIO()
+        rep = ProgressReporter(stream=out, quiet=False)
+        rep.start("x")
+        assert "[x] running ..." in out.getvalue()
+
+    def test_reports_mirrored_to_tracer_even_when_quiet(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        rep = ProgressReporter(stream=io.StringIO(), quiet=True, tracer=tracer)
+        rep.start("fig5")
+        rep.done("fig5", 2.0)
+        assert [e.etype for e in seen] == ["run.progress", "run.progress"]
+        assert seen[0].fields["label"] == "fig5"
+        assert seen[1].fields["seconds"] == 2.0
+
+    def test_timed_returns_result(self):
+        rep = ProgressReporter(stream=io.StringIO(), quiet=True)
+        assert rep.timed("add", lambda a, b: a + b, 2, 3) == 5
