@@ -4,7 +4,15 @@ Each ``test_bench_*`` module regenerates one of the paper's evaluation
 figures at a reduced-but-structurally-identical scale (pytest-benchmark
 measures wall time; the assertions check the paper's qualitative shape).
 Full-scale regeneration is ``python -m repro.experiments <figure>``.
+
+When the run is invoked with ``--benchmark-json=<path>``, the hook below
+additionally exports the results in the repo's BENCH schema (see
+:mod:`repro.obs.bench`) as ``<path stem>.bench.json`` next to it, so
+pytest-benchmark numbers feed the same ``python -m repro.obs compare``
+regression gate as the canonical ``python -m repro.obs bench`` suite.
 """
+
+import os
 
 import pytest
 
@@ -12,3 +20,17 @@ import pytest
 def pytest_collection_modifyitems(items):
     for item in items:
         item.add_marker(pytest.mark.benchmark)
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Mirror pytest-benchmark's ``--benchmark-json`` into BENCH schema."""
+    from repro.analysis.export import write_json
+    from repro.obs.bench import bench_payload_from_pytest
+
+    target = config.getoption("benchmark_json", None)
+    if target is None:
+        return
+    # --benchmark-json is an argparse FileType: a file object with .name
+    path = getattr(target, "name", str(target))
+    stem, _ = os.path.splitext(path)
+    write_json(stem + ".bench.json", bench_payload_from_pytest(output_json))

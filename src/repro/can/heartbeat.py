@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..obs.profiling import NULL_PROFILER
 from ..sim.monitor import TimeSeries
 from .coverage import has_gap
 from .messages import MessageType, SizeModel
@@ -153,6 +154,7 @@ class HeartbeatProtocol:
         config: ProtocolConfig,
         rng: Optional["np.random.Generator"] = None,
         tracer: Optional[object] = None,
+        profiler: Optional[object] = None,
     ):
         self.overlay = overlay
         self.config = config
@@ -160,6 +162,9 @@ class HeartbeatProtocol:
         #: optional repro.obs.Tracer; None keeps every emit site to a
         #: single attribute test (the default, benchmark-grade path)
         self.tracer = tracer
+        #: optional repro.obs.Profiler; run_round wraps its phases in
+        #: scopes (a handful of no-op context managers per round when off)
+        self.profiler = profiler
         self.stats = MessageStats()
         self.nodes: Dict[int, ProtocolNode] = {}
         self.broken_links = TimeSeries("broken_links")
@@ -294,18 +299,32 @@ class HeartbeatProtocol:
 
     # ------------------------------------------------------------------ the round --
     def run_round(self, now: float) -> None:
-        """One heartbeat period: exchange, detect, claim, repair, measure."""
+        """One heartbeat period: exchange, detect, claim, repair, measure.
+
+        Each phase runs under a profiler scope named for the scheme
+        (``hb.round.vanilla/hb.exchange`` ...), so per-scheme heartbeat
+        generation/processing cost is separable in bench profiles.
+        """
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
         self._round += 1
         self._now = now
         self.stats.track_population(now, len(self.overlay.alive_ids()))
-        self._retry_pending_joins(now)
-        self._exchange_heartbeats(now)
-        self._deliver_replies(now)
-        self._detect_failures(now)
-        self._claim_timed_out_zones(now)
-        if self.config.scheme is HeartbeatScheme.ADAPTIVE:
-            self._adaptive_gap_checks(now)
-        broken = self.count_broken_links()
+        with prof.scope(f"hb.round.{self.config.scheme.value}"):
+            with prof.scope("hb.retry_joins"):
+                self._retry_pending_joins(now)
+            with prof.scope("hb.exchange"):
+                self._exchange_heartbeats(now)
+            with prof.scope("hb.deliver_replies"):
+                self._deliver_replies(now)
+            with prof.scope("hb.detect_failures"):
+                self._detect_failures(now)
+            with prof.scope("hb.claim_zones"):
+                self._claim_timed_out_zones(now)
+            if self.config.scheme is HeartbeatScheme.ADAPTIVE:
+                with prof.scope("hb.gap_checks"):
+                    self._adaptive_gap_checks(now)
+            with prof.scope("hb.count_broken_links"):
+                broken = self.count_broken_links()
         self.broken_links.record(now, float(broken))
         if self.tracer is not None:
             self.tracer.emit(

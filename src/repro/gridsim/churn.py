@@ -36,11 +36,15 @@ class ChurnSimulation:
         config: ChurnConfig,
         node_dist: Optional[NodeDistribution] = None,
         tracer=None,
+        profiler=None,
     ):
         self.config = config
         self.rngs = RngRegistry(config.seed)
         self.tracer = tracer
-        self.env = Environment(tracer=tracer)
+        #: optional repro.obs.Profiler threaded into the kernel's event
+        #: dispatch and the heartbeat protocol's round phases
+        self.profiler = profiler
+        self.env = Environment(tracer=tracer, profiler=profiler)
         self.space = ResourceSpace(gpu_slots=config.gpu_slots)
         self.overlay = CanOverlay(self.space)
         self.protocol = HeartbeatProtocol(
@@ -54,6 +58,7 @@ class ChurnSimulation:
                 detection=config.detection,
             ),
             tracer=tracer,
+            profiler=profiler,
         )
         self.metrics = MetricsRegistry()
         proto_scope = self.metrics.scope("protocol")

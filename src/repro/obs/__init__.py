@@ -1,4 +1,4 @@
-"""repro.obs — structured tracing, metrics, and run manifests.
+"""repro.obs — structured tracing, metrics, profiling, and run manifests.
 
 The observability layer for the whole simulation stack:
 
@@ -6,20 +6,48 @@ The observability layer for the whole simulation stack:
   the :class:`Tracer` handle components hold (zero-cost when absent);
 * :mod:`~repro.obs.registry` — :class:`MetricsRegistry`, hierarchical
   names over the ``sim.monitor`` primitives with JSON-able snapshots;
+* :mod:`~repro.obs.profiling` — the hierarchical wall-clock
+  :class:`Profiler` threaded through the kernel's event dispatch, the
+  heartbeat protocol, routing, and the matchmakers (and the no-op
+  :class:`NullProfiler`, so unprofiled runs pay nothing);
 * :mod:`~repro.obs.trace` — JSONL export and the per-run
   :class:`RunRecorder` harness;
 * :mod:`~repro.obs.manifest` — :class:`RunManifest` (config, seeds,
   git describe, wall time, event counts) written next to result CSVs;
 * :mod:`~repro.obs.progress` — :class:`ProgressReporter`, the bus-backed
-  replacement for ad-hoc stderr progress prints;
+  replacement for ad-hoc stderr progress prints (rate + ETA lines);
 * :mod:`~repro.obs.summarize` — offline trace analysis, also available as
-  ``python -m repro.obs summarize <trace.jsonl>``.
+  ``python -m repro.obs summarize <trace.jsonl>``;
+* :mod:`~repro.obs.bench` — the canonical benchmark suite
+  (``python -m repro.obs bench``) writing schema-versioned
+  ``BENCH_*.json`` trajectory points, and the ``compare`` regression
+  gate;
+* :mod:`~repro.obs.schema` — the artifact schema version and the
+  major-version compatibility check every reader applies.
 """
 
+from .bench import (
+    BenchComparison,
+    bench_payload_from_pytest,
+    compare_files,
+    compare_payloads,
+    load_bench,
+    render_compare,
+    run_bench,
+    validate_bench_payload,
+)
 from .events import EV, EventBus, TraceEvent, Tracer
 from .manifest import RunManifest, git_describe
+from .profiling import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    profiled,
+    render_profile,
+)
 from .progress import ProgressReporter, quiet_from_env
 from .registry import MetricsRegistry
+from .schema import SCHEMA_VERSION, check_schema_version
 from .summarize import TraceSummary, render_summary, summarize_events, summarize_file
 from .trace import JsonlTraceWriter, RunRecorder, read_trace
 
@@ -29,6 +57,11 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "MetricsRegistry",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "profiled",
+    "render_profile",
     "JsonlTraceWriter",
     "RunRecorder",
     "read_trace",
@@ -40,4 +73,14 @@ __all__ = [
     "summarize_events",
     "summarize_file",
     "render_summary",
+    "SCHEMA_VERSION",
+    "check_schema_version",
+    "run_bench",
+    "load_bench",
+    "validate_bench_payload",
+    "bench_payload_from_pytest",
+    "compare_payloads",
+    "compare_files",
+    "render_compare",
+    "BenchComparison",
 ]

@@ -12,6 +12,7 @@ Schema (see DESIGN.md § Observability):
 
     {
       "name": "fig7",
+      "schema_version": "1.0",    // rejected by readers on major mismatch
       "config": {...},            // experiment knobs, JSON-able
       "seed": 20110926,           // null when the experiment default was used
       "git_describe": "ac1a93a",
@@ -35,6 +36,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..analysis.export import write_json
+from .schema import SCHEMA_VERSION
 
 __all__ = ["RunManifest", "git_describe"]
 
@@ -61,6 +63,7 @@ class RunManifest:
     """Mutable while the run executes; ``write`` freezes it to JSON."""
 
     name: str
+    schema_version: str = SCHEMA_VERSION
     config: Dict[str, Any] = dataclasses.field(default_factory=dict)
     seed: Optional[int] = None
     git_describe: str = dataclasses.field(default_factory=git_describe)

@@ -1,0 +1,292 @@
+"""Low-overhead hierarchical wall-clock profiling for the simulators.
+
+The trace layer answers *what happened* in simulated time; this module
+answers *where the wall clock went*.  A :class:`Profiler` maintains a stack
+of named scopes and aggregates, per scope **path** (``parent/child``, so the
+same phase is reported separately under different callers):
+
+* ``calls`` — how many times the scope was entered;
+* ``cum`` — total wall seconds inside the scope, children included;
+* ``self`` — ``cum`` minus the time spent in child scopes.
+
+Producers follow the tracer idiom: components hold an ``Optional[Profiler]``
+(``None`` by default) and either guard per-call with ``is not None`` /
+``@profiled`` (hot paths: the kernel's event dispatch, per-placement
+scoring) or alias ``prof = self.profiler or NULL_PROFILER`` and scope
+unconditionally (phase-level paths, where a handful of no-op context
+managers per round is unmeasurable).  :data:`NULL_PROFILER` is a shared
+:class:`NullProfiler` whose ``scope()`` returns one reusable no-op context
+manager — unprofiled runs allocate nothing and record nothing, which the
+test suite pins the same way it pins the tracer's zero-overhead guarantee.
+
+Recursive scopes fold into one path entry (``cum`` then counts each level,
+so a scope's ``cum`` can exceed its parent's); the simulators don't recurse.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..analysis.tables import format_table
+
+__all__ = [
+    "CLOCK",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "ScopeStats",
+    "profiled",
+    "render_profile",
+    "scope_totals",
+]
+
+#: the wall clock every profiler (and rate/ETA reporting) reads by default
+CLOCK = time.perf_counter
+
+
+class ScopeStats:
+    """Aggregated timings of one scope path (an immutable snapshot)."""
+
+    __slots__ = ("path", "calls", "cum", "self_time")
+
+    def __init__(self, path: str, calls: int, cum: float, self_time: float):
+        self.path = path
+        self.calls = calls
+        self.cum = cum
+        self.self_time = self_time
+
+    @property
+    def name(self) -> str:
+        """The scope's own name (the last path segment)."""
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "cum_s": self.cum,
+            "self_s": self.self_time,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScopeStats({self.path!r}, calls={self.calls}, "
+            f"cum={self.cum:.6g}, self={self.self_time:.6g})"
+        )
+
+
+class _Scope:
+    """The context manager ``Profiler.scope`` hands out."""
+
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Scope":
+        self._profiler.push(self._name)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._profiler.pop()
+
+
+class Profiler:
+    """Hierarchical scope timings keyed by ``parent/child`` paths."""
+
+    __slots__ = ("_clock", "_stack", "_raw")
+
+    #: class attribute so the disabled test costs one attribute load
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock if clock is not None else CLOCK
+        #: active frames: [path, start time, accumulated child time]
+        self._stack: List[List] = []
+        #: path -> [calls, cum, child] (mutable, hot)
+        self._raw: Dict[str, List] = {}
+
+    # -- recording (the hot path) ------------------------------------------------
+    def push(self, name: str) -> None:
+        """Enter scope ``name`` under the currently active scope."""
+        stack = self._stack
+        path = f"{stack[-1][0]}/{name}" if stack else name
+        stack.append([path, self._clock(), 0.0])
+
+    def pop(self) -> float:
+        """Leave the innermost scope; returns its elapsed wall seconds."""
+        path, start, child = self._stack.pop()
+        dt = self._clock() - start
+        rec = self._raw.get(path)
+        if rec is None:
+            self._raw[path] = [1, dt, child]
+        else:
+            rec[0] += 1
+            rec[1] += dt
+            rec[2] += child
+        if self._stack:
+            self._stack[-1][2] += dt
+        return dt
+
+    def scope(self, name: str) -> _Scope:
+        """``with profiler.scope("hb.exchange"): ...``"""
+        return _Scope(self, name)
+
+    # -- reporting ----------------------------------------------------------------
+    def stats(self) -> Dict[str, ScopeStats]:
+        """Snapshot of every completed scope path (sorted by path)."""
+        out: Dict[str, ScopeStats] = {}
+        for path in sorted(self._raw):
+            calls, cum, child = self._raw[path]
+            out[path] = ScopeStats(path, calls, cum, max(cum - child, 0.0))
+        return out
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-able ``{path: {calls, cum_s, self_s}}`` (the bench schema)."""
+        return {path: s.as_dict() for path, s in self.stats().items()}
+
+    def total_calls(self) -> int:
+        return sum(rec[0] for rec in self._raw.values())
+
+    def reset(self) -> None:
+        """Drop all recorded stats (active scopes stay on the stack)."""
+        self._raw.clear()
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullProfiler:
+    """API-compatible no-op: unprofiled code paths pay (almost) nothing.
+
+    ``scope()`` returns one shared, reusable context manager, so phase-level
+    instrumentation written as ``(self.profiler or NULL_PROFILER).scope(...)``
+    allocates nothing when profiling is off.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def push(self, name: str) -> None:
+        pass
+
+    def pop(self) -> float:
+        return 0.0
+
+    def scope(self, name: str) -> _NullScope:
+        return _NULL_SCOPE
+
+    def stats(self) -> Dict[str, ScopeStats]:
+        return {}
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+    def total_calls(self) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+#: the shared no-op instance components alias when no profiler was wired
+NULL_PROFILER = NullProfiler()
+
+
+def profiled(name: Optional[str] = None) -> Callable:
+    """Method decorator timing each call under the holder's profiler.
+
+    For methods of components that follow the observability idiom (a
+    ``self.profiler`` attribute that is ``None`` or a :class:`Profiler`).
+    The disabled path is one attribute load plus one truth test, matching
+    the tracer's ``if self.tracer is not None`` guard.
+
+    >>> class Engine:
+    ...     def __init__(self, profiler=None):
+    ...         self.profiler = profiler
+    ...     @profiled("engine.step")
+    ...     def step(self):
+    ...         ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__name__
+
+        @functools.wraps(fn)
+        def wrapper(self, *args: Any, **kwargs: Any):
+            prof = self.profiler
+            if prof is None or not prof.enabled:
+                return fn(self, *args, **kwargs)
+            prof.push(label)
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                prof.pop()
+
+        return wrapper
+
+    return decorate
+
+
+def render_profile(
+    profile: Dict[str, Dict[str, Any]],
+    title: str = "Profile",
+    min_cum_s: float = 0.0,
+    limit: int = 0,
+) -> str:
+    """Human-readable table from ``Profiler.as_dict()``-shaped data.
+
+    Rows keep path order (children under parents, indented by depth) and
+    scopes whose cumulative time is below ``min_cum_s`` are elided;
+    ``limit`` > 0 keeps only the first N surviving rows.
+    """
+    rows: List[List[object]] = []
+    for path in sorted(profile):
+        entry = profile[path]
+        cum = float(entry.get("cum_s", 0.0))
+        if cum < min_cum_s:
+            continue
+        depth = path.count("/")
+        rows.append(
+            [
+                "  " * depth + path.rsplit("/", 1)[-1],
+                entry.get("calls", 0),
+                f"{cum:.4f}",
+                f"{float(entry.get('self_s', 0.0)):.4f}",
+            ]
+        )
+    if limit > 0:
+        rows = rows[:limit]
+    if not rows:
+        return f"{title}\n(no scopes recorded)"
+    return format_table(
+        ["scope", "calls", "cum s", "self s"], rows, title=title
+    )
+
+
+def scope_totals(profile: Dict[str, Dict[str, Any]]) -> Tuple[int, float]:
+    """(total calls, root cumulative seconds) of a profile dict."""
+    calls = sum(int(e.get("calls", 0)) for e in profile.values())
+    root_cum = sum(
+        float(e.get("cum_s", 0.0))
+        for path, e in profile.items()
+        if "/" not in path
+    )
+    return calls, root_cum

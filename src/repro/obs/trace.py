@@ -1,9 +1,12 @@
 """JSONL trace export and the per-run recording harness.
 
 :class:`JsonlTraceWriter` is a bus subscriber that serialises every event
-as one JSON object per line.  Serialisation is canonical (sorted keys,
-compact separators), so a deterministic simulation produces a
-byte-identical trace file — the determinism tests diff the raw bytes.
+as one JSON object per line.  The first line is a schema header
+(``{"schema_version": ..., "type": "trace.header"}``); readers use it to
+reject traces written under an incompatible major version.  Serialisation
+is canonical (sorted keys, compact separators), so a deterministic
+simulation produces a byte-identical trace file — the determinism tests
+diff the raw bytes.
 
 :class:`RunRecorder` bundles what every experiment wants: a tracer wired
 to a JSONL writer, plus a manifest that is finalised (event counts,
@@ -18,12 +21,23 @@ from typing import Any, Dict, IO, Optional
 
 from .events import EventBus, TraceEvent, Tracer
 from .manifest import RunManifest
+from .schema import SCHEMA_VERSION, check_schema_version
 
 __all__ = ["JsonlTraceWriter", "RunRecorder", "read_trace"]
 
+#: canonical serialisation of the header line every trace file starts with
+TRACE_HEADER = json.dumps(
+    {"schema_version": SCHEMA_VERSION, "type": "trace.header"},
+    sort_keys=True,
+    separators=(",", ":"),
+)
+
 
 class JsonlTraceWriter:
-    """Subscribe me to a bus; I stream events to a ``.jsonl`` file."""
+    """Subscribe me to a bus; I stream events to a ``.jsonl`` file.
+
+    ``lines`` counts *events*; the schema header line is not an event.
+    """
 
     def __init__(self, path: str):
         parent = os.path.dirname(path)
@@ -31,6 +45,7 @@ class JsonlTraceWriter:
             os.makedirs(parent, exist_ok=True)
         self.path = path
         self._fh: Optional[IO[str]] = open(path, "w")
+        self._fh.write(TRACE_HEADER + "\n")
         self.lines = 0
 
     def __call__(self, event: TraceEvent) -> None:
@@ -55,12 +70,28 @@ class JsonlTraceWriter:
 
 
 def read_trace(path: str):
-    """Yield event dicts from a JSONL trace file."""
+    """Yield event dicts from a JSONL trace file.
+
+    A leading ``trace.header`` record is version-checked and consumed, not
+    yielded; header-less traces from before schema versioning still read.
+    Raises :class:`ValueError` when the header's major version differs
+    from ours.
+    """
+    first = True
     with open(path) as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            record = json.loads(line)
+            if first:
+                first = False
+                if record.get("type") == "trace.header":
+                    check_schema_version(
+                        record.get("schema_version"), f"trace {path!r}"
+                    )
+                    continue
+            yield record
 
 
 class RunRecorder:

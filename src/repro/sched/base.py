@@ -50,6 +50,8 @@ class Matchmaker(abc.ABC):
         self.stats = MatchmakingStats()
         self.tracer = None
         self.clock = None
+        #: optional repro.obs.Profiler; see attach_profiler
+        self.profiler = None
 
     @abc.abstractmethod
     def place(self, job: Job) -> Optional[GridNode]:
@@ -59,6 +61,15 @@ class Matchmaker(abc.ABC):
         """Wire a :class:`repro.obs.Tracer` plus a ``() -> now`` clock."""
         self.tracer = tracer
         self.clock = clock
+
+    def attach_profiler(self, profiler) -> None:
+        """Wire a :class:`repro.obs.Profiler` (or ``None`` to detach).
+
+        Profiled matchmakers time each placement and its scoring/push
+        phases; with ``None`` every instrumented site is one attribute
+        test, exactly like the tracer guard.
+        """
+        self.profiler = profiler
 
     def _t(self) -> float:
         return self.clock() if self.clock is not None else 0.0

@@ -26,8 +26,17 @@ from ..can.aggregation import AggregationEngine
 from ..can.overlay import CanOverlay
 from ..model.job import Job
 from ..model.node import GridNode
+from ..obs.profiling import NULL_PROFILER, profiled
 from .base import Matchmaker, fastest_dominant_clock, outward_capable_search
-from .score import ai_field, node_score, push_objective, stop_probability
+from .score import (
+    ai_field,
+    min_pooled_score_node,
+    min_score_node,
+    node_score,
+    pooled_node_score,
+    push_objective,
+    stop_probability,
+)
 
 __all__ = ["CanHetMatchmaker"]
 
@@ -62,6 +71,16 @@ class CanHetMatchmaker(Matchmaker):
 
     # ------------------------------------------------------------------ placement --
     def place(self, job: Job) -> Optional[GridNode]:
+        """One placement, timed end-to-end under ``mm.place.can-het``.
+
+        The push-walk phases (Eq 3/4 target choice, Eq 1/2 scoring, the
+        fallback sweep) carry their own child scopes via ``@profiled``.
+        """
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        with prof.scope(f"mm.place.{self.name}"):
+            return self._place(job)
+
+    def _place(self, job: Job) -> Optional[GridNode]:
         coord = self.overlay.space.job_coordinate(
             job, float(self.rng.random())
         )
@@ -119,10 +138,9 @@ class CanHetMatchmaker(Matchmaker):
             return None
         if self.use_dominant_ce:
             return node_score(node, job)
-        from .score import pooled_node_score
-
         return pooled_node_score(node)
 
+    @profiled("mm.fallback")
     def _fallback(self, origin: int, job: Job) -> Optional[GridNode]:
         """Expanding-ring search when the push walk met no capable node."""
         self.stats.fallback_searches += 1
@@ -159,6 +177,7 @@ class CanHetMatchmaker(Matchmaker):
         pool = free if free else acceptable
         return fastest_dominant_clock(pool, job)
 
+    @profiled("mm.push_target.eq3")
     def _choose_push_target(
         self, node_id: int, job: Job, visited: set
     ) -> Optional[Tuple[int, int]]:
@@ -193,14 +212,11 @@ class CanHetMatchmaker(Matchmaker):
                     best = (nid, dim)
         return best
 
+    @profiled("mm.score.eq12")
     def _select_min_score(
         self, capable: List[GridNode], job: Job
     ) -> Optional[GridNode]:
         """Algorithm 1 line 14: minimum Equation 1/2 score candidate."""
-        if not capable:
-            return None
         if self.use_dominant_ce:
-            return min(capable, key=lambda n: (node_score(n, job), n.node_id))
-        from .score import pooled_node_score
-
-        return min(capable, key=lambda n: (pooled_node_score(n), n.node_id))
+            return min_score_node(capable, job)
+        return min_pooled_score_node(capable)

@@ -28,8 +28,14 @@ from ..can.aggregation import AggregationEngine
 from ..can.overlay import CanOverlay
 from ..model.job import Job
 from ..model.node import GridNode
+from ..obs.profiling import NULL_PROFILER, profiled
 from .base import Matchmaker, outward_capable_search
-from .score import ai_field, pooled_node_score, pooled_push_objective, stop_probability
+from .score import (
+    ai_field,
+    min_pooled_score_node,
+    pooled_push_objective,
+    stop_probability,
+)
 
 __all__ = ["CanHomMatchmaker"]
 
@@ -57,6 +63,11 @@ class CanHomMatchmaker(Matchmaker):
         self.max_hops = max_hops
 
     def place(self, job: Job) -> Optional[GridNode]:
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        with prof.scope(f"mm.place.{self.name}"):
+            return self._place(job)
+
+    def _place(self, job: Job) -> Optional[GridNode]:
         coord = self.overlay.space.job_coordinate(job, float(self.rng.random()))
         origin = self.overlay.locate_owner(coord)
         current = origin
@@ -102,6 +113,7 @@ class CanHomMatchmaker(Matchmaker):
             chosen = self._fallback(origin, job)
         return self._record_placement(chosen, job, hops)
 
+    @profiled("mm.fallback")
     def _fallback(self, origin: int, job: Job) -> Optional[GridNode]:
         """Expanding-ring search when the push walk met no capable node.
 
@@ -127,6 +139,7 @@ class CanHomMatchmaker(Matchmaker):
         )
         return [self.grid_nodes[nid] for nid in ids if nid in self.grid_nodes]
 
+    @profiled("mm.push_target.eq3")
     def _choose_push_target(
         self, node_id: int, visited: set
     ) -> Optional[Tuple[int, int]]:
@@ -145,8 +158,6 @@ class CanHomMatchmaker(Matchmaker):
                     best = (nid, dim)
         return best
 
-    @staticmethod
-    def _select_min_score(capable: List[GridNode]) -> Optional[GridNode]:
-        if not capable:
-            return None
-        return min(capable, key=lambda n: (pooled_node_score(n), n.node_id))
+    @profiled("mm.score.eq12")
+    def _select_min_score(self, capable: List[GridNode]) -> Optional[GridNode]:
+        return min_pooled_score_node(capable)

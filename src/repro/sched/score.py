@@ -17,7 +17,7 @@ sooner when few nodes remain farther out.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -32,6 +32,8 @@ __all__ = [
     "push_objective",
     "stop_probability",
     "pooled_node_score",
+    "min_score_node",
+    "min_pooled_score_node",
 ]
 
 _IDX = {name: i for i, name in enumerate(FIELDS)}
@@ -62,6 +64,24 @@ def pooled_node_score(node: GridNode) -> float:
     cpu = node.ce("cpu")
     assert cpu is not None  # every node has a CPU
     return node.node_utilization() / cpu.spec.clock
+
+
+def min_score_node(candidates: List[GridNode], job: Job) -> Optional[GridNode]:
+    """Argmin of the Equation 1/2 score over ``candidates`` (ties on id).
+
+    The shared "place on the least-loaded capable node" step of both CAN
+    matchmakers; returns ``None`` for an empty candidate list.
+    """
+    if not candidates:
+        return None
+    return min(candidates, key=lambda n: (node_score(n, job), n.node_id))
+
+
+def min_pooled_score_node(candidates: List[GridNode]) -> Optional[GridNode]:
+    """Argmin of the pooled (heterogeneity-oblivious) score (ties on id)."""
+    if not candidates:
+        return None
+    return min(candidates, key=lambda n: (pooled_node_score(n), n.node_id))
 
 
 def push_objective(ai: np.ndarray, use_slot_fields: bool) -> float:

@@ -1,0 +1,282 @@
+"""Bench payloads, the BENCH_*.json writer, and the compare gate."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.obs import bench as bench_mod
+from repro.obs import check_schema_version, schema
+from repro.obs.__main__ import main as obs_main
+from repro.obs.bench import (
+    bench_filename,
+    bench_payload_from_pytest,
+    compare_payloads,
+    load_bench,
+    run_bench,
+    validate_bench_payload,
+)
+
+
+def make_payload(**wall):
+    """A minimal valid bench payload; ``wall`` overrides run wall times."""
+    runs = []
+    for name, default in (("fig5.can-het.tiny", 1.0), ("micro.route", 0.2)):
+        runs.append(
+            {
+                "name": name,
+                "group": name.split(".")[0],
+                "kind": "sim",
+                "wall_seconds": wall.get(
+                    name.replace(".", "_").replace("-", "_"), default
+                ),
+                "metrics": {"sim_events": 100},
+                "profile": {
+                    "sim.dispatch.Timeout": {
+                        "calls": 10,
+                        "cum_s": 0.5,
+                        "self_s": 0.5,
+                    }
+                },
+            }
+        )
+    return {
+        "schema_version": schema.SCHEMA_VERSION,
+        "kind": "bench",
+        "mode": "smoke",
+        "manifest": {"name": "bench-smoke", "seed": 1},
+        "runs": runs,
+    }
+
+
+class TestSchema:
+    def test_current_version_accepted(self):
+        check_schema_version(schema.SCHEMA_VERSION, "x")
+        check_schema_version(None, "legacy artifact")  # grandfathered
+
+    def test_future_major_rejected(self):
+        with pytest.raises(ValueError, match="major version"):
+            check_schema_version("99.0", "x")
+
+    def test_minor_bump_accepted(self):
+        check_schema_version("1.9", "x")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            check_schema_version("one.two", "x")
+
+
+class TestValidation:
+    def test_valid_payload_passes(self):
+        validate_bench_payload(make_payload())
+
+    def test_rejects_wrong_kind(self):
+        payload = make_payload()
+        payload["kind"] = "trace"
+        with pytest.raises(ValueError, match="kind"):
+            validate_bench_payload(payload)
+
+    def test_rejects_future_major_version(self):
+        payload = make_payload()
+        payload["schema_version"] = "2.0"
+        with pytest.raises(ValueError, match="schema version"):
+            validate_bench_payload(payload)
+
+    def test_rejects_run_missing_keys(self):
+        payload = make_payload()
+        del payload["runs"][0]["profile"]
+        with pytest.raises(ValueError, match="profile"):
+            validate_bench_payload(payload)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_bench_payload([1, 2, 3])
+
+
+class TestRunBench:
+    @pytest.fixture
+    def tiny_suite(self, monkeypatch):
+        """Replace the real suite with one instant workload."""
+
+        def fake_suite(mode, seed):
+            def workload(profiler):
+                with profiler.scope("tiny.work"):
+                    pass
+                return {"sim_events": 5, "seed": seed}
+
+            return [("tiny.run", "tiny", "sim", workload)]
+
+        monkeypatch.setattr(bench_mod, "_suite", fake_suite)
+
+    def test_writes_schema_valid_file(self, tiny_suite, tmp_path):
+        out = str(tmp_path / "BENCH_test.json")
+        payload, path = run_bench(mode="smoke", seed=42, out_path=out)
+        assert path == out
+        loaded = load_bench(out)  # validates on read
+        assert loaded["schema_version"] == schema.SCHEMA_VERSION
+        assert loaded["mode"] == "smoke"
+        assert loaded["manifest"]["seed"] == 42
+        assert loaded["manifest"]["git_describe"]
+        assert loaded["manifest"]["python"]
+        [run] = loaded["runs"]
+        assert run["name"] == "tiny.run"
+        assert run["metrics"] == {"sim_events": 5, "seed": 42}
+        assert "tiny.work" in run["profile"]
+
+    def test_default_filename_pattern(self, tiny_suite, tmp_path):
+        _, path = run_bench(mode="smoke", out_dir=str(tmp_path))
+        name = os.path.basename(path)
+        assert name.startswith("BENCH_") and name.endswith(".json")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_bench(mode="huge")
+
+    def test_bench_filename_shape(self):
+        import datetime
+
+        stamp = datetime.datetime(
+            2026, 8, 6, 12, 30, 0, tzinfo=datetime.timezone.utc
+        )
+        assert bench_filename(stamp) == "BENCH_20260806T123000Z.json"
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self):
+        payload = make_payload()
+        comparison = compare_payloads(payload, copy.deepcopy(payload))
+        assert comparison.ok
+        assert comparison.rows  # it did compare something
+        assert all(delta == 0.0 for _, _, _, delta, _ in comparison.rows)
+
+    def test_regression_detected(self):
+        old = make_payload()
+        new = make_payload(fig5_can_het_tiny=2.0)  # 1.0s -> 2.0s
+        comparison = compare_payloads(old, new, threshold=20.0)
+        assert not comparison.ok
+        [(scope, old_s, new_s, delta, bad)] = comparison.regressions
+        assert scope == "fig5.can-het.tiny"
+        assert delta == pytest.approx(100.0)
+
+    def test_scope_level_regression_detected(self):
+        old = make_payload()
+        new = make_payload()
+        new["runs"][0]["profile"]["sim.dispatch.Timeout"]["cum_s"] = 5.0
+        comparison = compare_payloads(old, new, threshold=20.0)
+        scopes = [row[0] for row in comparison.regressions]
+        assert "fig5.can-het.tiny :: sim.dispatch.Timeout" in scopes
+
+    def test_noise_floor_suppresses_tiny_times(self):
+        old = make_payload(fig5_can_het_tiny=0.0001, micro_route=0.0001)
+        new = make_payload(fig5_can_het_tiny=0.004, micro_route=0.004)
+        old["runs"][0]["profile"] = {}
+        new["runs"][0]["profile"] = {}
+        old["runs"][1]["profile"] = {}
+        new["runs"][1]["profile"] = {}
+        comparison = compare_payloads(old, new, threshold=20.0)
+        assert comparison.ok  # 40x slower but under the noise floor
+        assert comparison.rows == []
+
+    def test_disjoint_runs_reported_not_compared(self):
+        old = make_payload()
+        new = make_payload()
+        new["runs"][1]["name"] = "micro.route_v2"
+        comparison = compare_payloads(old, new)
+        assert comparison.only_old == ["micro.route"]
+        assert comparison.only_new == ["micro.route_v2"]
+
+    def test_speedup_is_not_a_regression(self):
+        old = make_payload(fig5_can_het_tiny=2.0)
+        new = make_payload(fig5_can_het_tiny=1.0)
+        assert compare_payloads(old, new).ok
+
+
+class TestCompareCli:
+    def write(self, tmp_path, name, payload):
+        path = str(tmp_path / name)
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        return path
+
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", make_payload())
+        assert obs_main(["compare", a, a]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", make_payload())
+        b = self.write(
+            tmp_path, "b.json", make_payload(fig5_can_het_tiny=3.0)
+        )
+        assert obs_main(["compare", a, b]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_warn_only_exits_zero(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", make_payload())
+        b = self.write(
+            tmp_path, "b.json", make_payload(fig5_can_het_tiny=3.0)
+        )
+        assert obs_main(["compare", a, b, "--warn-only"]) == 0
+
+    def test_threshold_flag_loosens_gate(self, tmp_path):
+        a = self.write(tmp_path, "a.json", make_payload())
+        b = self.write(
+            tmp_path, "b.json", make_payload(fig5_can_het_tiny=1.3)
+        )
+        assert obs_main(["compare", a, b, "--threshold", "20"]) == 1
+        assert obs_main(["compare", a, b, "--threshold", "50"]) == 0
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", make_payload())
+        assert obs_main(["compare", a, str(tmp_path / "missing.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_future_schema_exits_two(self, tmp_path, capsys):
+        payload = make_payload()
+        payload["schema_version"] = "9.0"
+        a = self.write(tmp_path, "a.json", make_payload())
+        b = self.write(tmp_path, "b.json", payload)
+        assert obs_main(["compare", a, b]) == 2
+        assert "schema version" in capsys.readouterr().err
+
+
+class TestPytestBenchmarkExport:
+    def test_converts_to_bench_schema(self):
+        output_json = {
+            "datetime": "2026-08-06T00:00:00",
+            "commit_info": {"id": "abcdef1234567890"},
+            "machine_info": {"python_version": "3.12.0"},
+            "benchmarks": [
+                {
+                    "name": "test_bench_greedy_routing",
+                    "group": None,
+                    "stats": {
+                        "mean": 0.01,
+                        "min": 0.009,
+                        "max": 0.012,
+                        "stddev": 0.001,
+                        "rounds": 25,
+                        "ops": 100.0,
+                    },
+                }
+            ],
+        }
+        payload = bench_payload_from_pytest(output_json)
+        validate_bench_payload(payload)
+        assert payload["mode"] == "pytest"
+        [run] = payload["runs"]
+        assert run["name"] == "pytest.test_bench_greedy_routing"
+        assert run["wall_seconds"] == pytest.approx(0.01)
+        assert run["metrics"]["rounds"] == 25
+        assert payload["manifest"]["git_describe"] == "abcdef123456"
+
+    def test_two_conversions_compare_cleanly(self):
+        output_json = {
+            "benchmarks": [
+                {"name": "t", "group": "g", "stats": {"mean": 0.5}}
+            ]
+        }
+        a = bench_payload_from_pytest(output_json)
+        b = bench_payload_from_pytest(copy.deepcopy(output_json))
+        assert compare_payloads(a, b).ok

@@ -1,0 +1,250 @@
+"""Profiler semantics, the no-op profiler, and zero-overhead guards."""
+
+import pytest
+
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import (
+    ChurnConfig,
+    ChurnSimulation,
+    GridSimulation,
+    MatchmakingConfig,
+)
+from repro.obs import NULL_PROFILER, NullProfiler, Profiler, profiled
+from repro.obs import profiling as profiling_mod
+from repro.obs.profiling import render_profile, scope_totals
+from repro.workload import TINY_LOAD
+
+
+class FakeClock:
+    """Deterministic clock: each tick advances by a fixed step."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestProfiler:
+    def test_flat_scope_counts_and_time(self):
+        prof = Profiler(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with prof.scope("work"):
+                pass
+        stats = prof.stats()
+        assert set(stats) == {"work"}
+        assert stats["work"].calls == 3
+        # each scope spans exactly one clock tick
+        assert stats["work"].cum == pytest.approx(3.0)
+        assert stats["work"].self_time == pytest.approx(3.0)
+
+    def test_nested_scopes_self_vs_cumulative(self):
+        clock = FakeClock(step=1.0)
+        prof = Profiler(clock=clock)
+        with prof.scope("outer"):      # t=0 .. t=5
+            with prof.scope("inner"):  # t=1 .. t=2
+                pass
+            with prof.scope("inner"):  # t=3 .. t=4
+                pass
+        stats = prof.stats()
+        assert set(stats) == {"outer", "outer/inner"}
+        outer, inner = stats["outer"], stats["outer/inner"]
+        assert inner.calls == 2
+        assert inner.cum == pytest.approx(2.0)
+        assert outer.cum == pytest.approx(5.0)
+        # outer's self time excludes the two inner spans
+        assert outer.self_time == pytest.approx(3.0)
+        assert outer.depth == 0 and inner.depth == 1
+        assert inner.name == "inner"
+
+    def test_same_name_different_parents_kept_apart(self):
+        prof = Profiler(clock=FakeClock())
+        with prof.scope("a"):
+            with prof.scope("step"):
+                pass
+        with prof.scope("b"):
+            with prof.scope("step"):
+                pass
+        assert {"a/step", "b/step"} <= set(prof.stats())
+
+    def test_push_pop_match_scope(self):
+        prof = Profiler(clock=FakeClock())
+        prof.push("x")
+        dt = prof.pop()
+        assert dt == pytest.approx(1.0)
+        assert prof.stats()["x"].calls == 1
+
+    def test_exception_still_pops(self):
+        prof = Profiler(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with prof.scope("boom"):
+                raise RuntimeError("x")
+        assert prof.stats()["boom"].calls == 1
+        # the stack unwound: a new scope is a root again
+        with prof.scope("after"):
+            pass
+        assert "after" in prof.stats()
+
+    def test_as_dict_round_trip(self):
+        prof = Profiler(clock=FakeClock())
+        with prof.scope("a"):
+            with prof.scope("b"):
+                pass
+        d = prof.as_dict()
+        assert d["a"]["calls"] == 1
+        assert d["a/b"]["cum_s"] == pytest.approx(1.0)
+        assert set(d["a"]) == {"calls", "cum_s", "self_s"}
+
+    def test_reset_and_totals(self):
+        prof = Profiler(clock=FakeClock())
+        with prof.scope("a"):
+            pass
+        assert prof.total_calls() == 1
+        prof.reset()
+        assert prof.total_calls() == 0
+        assert prof.as_dict() == {}
+
+    def test_render_profile_mentions_scopes(self):
+        prof = Profiler(clock=FakeClock())
+        with prof.scope("outer"):
+            with prof.scope("inner"):
+                pass
+        text = render_profile(prof.as_dict())
+        assert "outer" in text and "inner" in text
+
+    def test_scope_totals(self):
+        prof = Profiler(clock=FakeClock(step=1.0))
+        with prof.scope("root"):   # 3 ticks cum (incl. child)
+            with prof.scope("child"):
+                pass
+        calls, root_cum = scope_totals(prof.as_dict())
+        assert calls == 2
+        assert root_cum == pytest.approx(3.0)
+
+
+class TestProfiledDecorator:
+    class Widget:
+        def __init__(self, profiler):
+            self.profiler = profiler
+
+        @profiled("widget.work")
+        def work(self):
+            return 42
+
+        @profiled()
+        def unnamed(self):
+            return "named-after-method"
+
+    def test_records_under_given_name(self):
+        prof = Profiler(clock=FakeClock())
+        w = self.Widget(prof)
+        assert w.work() == 42
+        assert prof.stats()["widget.work"].calls == 1
+
+    def test_default_name_is_method_name(self):
+        prof = Profiler(clock=FakeClock())
+        w = self.Widget(prof)
+        assert w.unnamed() == "named-after-method"
+        assert any("unnamed" in path for path in prof.stats())
+
+    def test_none_profiler_is_passthrough(self):
+        w = self.Widget(None)
+        assert w.work() == 42
+
+    def test_null_profiler_is_passthrough(self):
+        w = self.Widget(NULL_PROFILER)
+        assert w.work() == 42
+
+
+class TestNullProfiler:
+    def test_singleton_scope_is_reused(self):
+        s1 = NULL_PROFILER.scope("a")
+        s2 = NULL_PROFILER.scope("b")
+        assert s1 is s2
+        with s1:
+            pass
+
+    def test_disabled_flag_and_empty_stats(self):
+        assert NullProfiler.enabled is False
+        assert Profiler.enabled is True
+        NULL_PROFILER.push("x")
+        NULL_PROFILER.pop()
+        assert NULL_PROFILER.as_dict() == {}
+        assert NULL_PROFILER.stats() == {}
+        assert NULL_PROFILER.total_calls() == 0
+
+
+class TestZeroOverheadWhenDisabled:
+    """Unprofiled runs must never touch the profiler — the structural
+    counterpart of the tracer's zero-overhead guard (timing assertions
+    would flake; a poisoned Profiler cannot)."""
+
+    @pytest.fixture(autouse=True)
+    def poison_profiler(self, monkeypatch):
+        def boom(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("Profiler touched with profiling disabled")
+
+        monkeypatch.setattr(profiling_mod.Profiler, "push", boom)
+        monkeypatch.setattr(profiling_mod.Profiler, "pop", boom)
+        monkeypatch.setattr(profiling_mod.Profiler, "scope", boom)
+
+    def test_unprofiled_grid_run(self):
+        sim = GridSimulation(MatchmakingConfig(TINY_LOAD, scheme="can-het"))
+        result = sim.run()
+        assert result.jobs_submitted == TINY_LOAD.jobs
+
+    def test_unprofiled_churn_run(self):
+        config = ChurnConfig(
+            initial_nodes=16,
+            gpu_slots=0,
+            scheme=HeartbeatScheme.ADAPTIVE,
+            heartbeat_period=60.0,
+            event_gap_mean=40.0,
+            duration=400.0,
+            seed=7,
+        )
+        result = ChurnSimulation(config).run()
+        assert result.final_population > 0
+
+
+class TestProfiledSimulations:
+    def test_grid_run_collects_dispatch_and_placement_scopes(self):
+        prof = Profiler()
+        sim = GridSimulation(
+            MatchmakingConfig(TINY_LOAD, scheme="can-het"), profiler=prof
+        )
+        sim.run()
+        paths = set(prof.as_dict())
+        assert any(p.startswith("sim.dispatch.") for p in paths)
+        assert any("mm.place.can-het" in p for p in paths)
+
+    def test_churn_run_collects_heartbeat_scopes(self):
+        prof = Profiler()
+        config = ChurnConfig(
+            initial_nodes=16,
+            gpu_slots=0,
+            scheme=HeartbeatScheme.VANILLA,
+            heartbeat_period=60.0,
+            event_gap_mean=40.0,
+            duration=400.0,
+            seed=7,
+        )
+        ChurnSimulation(config, profiler=prof).run()
+        paths = set(prof.as_dict())
+        assert any("hb.round.vanilla" in p for p in paths)
+        assert any(p.endswith("hb.exchange") for p in paths)
+
+    def test_profiled_run_matches_unprofiled_result(self):
+        """Profiling must observe, never perturb, the simulation."""
+        base = GridSimulation(
+            MatchmakingConfig(TINY_LOAD, scheme="can-het")
+        ).run()
+        prof = GridSimulation(
+            MatchmakingConfig(TINY_LOAD, scheme="can-het"),
+            profiler=Profiler(),
+        ).run()
+        assert base.wait_times.tolist() == prof.wait_times.tolist()
+        assert base.jobs_submitted == prof.jobs_submitted

@@ -73,3 +73,79 @@ class TestProgressReporter:
     def test_timed_returns_result(self):
         rep = ProgressReporter(stream=io.StringIO(), quiet=True)
         assert rep.timed("add", lambda a, b: a + b, 2, 3) == 5
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRateAndEta:
+    def reporter(self):
+        clock = FakeClock()
+        out = io.StringIO()
+        return ProgressReporter(stream=out, quiet=False, clock=clock), clock, out
+
+    def test_progress_line_has_rate_and_eta(self):
+        rep, clock, out = self.reporter()
+        rep.start("fig7")
+        clock.now = 2.0  # 4 items in 2s -> 2/s, 12 left -> ETA 6s
+        rep.progress("fig7", 4, 16)
+        assert out.getvalue().splitlines()[1] == (
+            "[fig7] progress 4/16 (25%) 2.0/s ETA 6.0s"
+        )
+
+    def test_progress_without_start_degrades_to_counts(self):
+        rep, _, out = self.reporter()
+        rep.progress("fig7", 4, 16)
+        line = out.getvalue().splitlines()[0]
+        assert "4/16" in line
+        assert "ETA" not in line and "/s" not in line
+
+    def test_progress_with_zero_completed_has_no_rate(self):
+        rep, clock, out = self.reporter()
+        rep.start("x")
+        clock.now = 5.0
+        rep.progress("x", 0, 10)
+        assert "ETA" not in out.getvalue()
+
+    def test_done_derives_seconds_from_start_stamp(self):
+        rep, clock, out = self.reporter()
+        rep.start("x")
+        clock.now = 3.0
+        rep.done("x")
+        assert "[x] done in 3.0s" in out.getvalue()
+
+    def test_done_with_events_reports_rate(self):
+        rep, clock, out = self.reporter()
+        rep.start("x")
+        clock.now = 2.0
+        rep.done("x", events=1000)
+        assert "[x] done in 2.0s (500 events/s)" in out.getvalue()
+
+    def test_explicit_seconds_still_wins(self):
+        rep, clock, out = self.reporter()
+        rep.start("x")
+        clock.now = 99.0
+        rep.done("x", 1.5)
+        assert "[x] done in 1.5s" in out.getvalue()
+
+    def test_progress_mirrored_to_tracer(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe(seen.append)
+        clock = FakeClock()
+        rep = ProgressReporter(
+            stream=io.StringIO(), quiet=True, tracer=tracer, clock=clock
+        )
+        rep.start("fig5")
+        clock.now = 1.0
+        rep.progress("fig5", 2, 4)
+        fields = seen[-1].fields
+        assert fields["status"] == "progress"
+        assert fields["completed"] == 2 and fields["total"] == 4
+        assert fields["rate"] == 2.0
+        assert fields["eta_seconds"] == 1.0

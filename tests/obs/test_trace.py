@@ -34,11 +34,28 @@ class TestJsonlTraceWriter:
             tracer = Tracer()
             tracer.subscribe(writer)
             tracer.emit(1.5, "msg.sent", mtype="heartbeat", bytes=40, copies=2)
-        raw = open(path).read()
-        assert raw == (
+        event_line = (
             '{"bytes":40,"copies":2,"mtype":"heartbeat","t":1.5,"type":"msg.sent"}\n'
         )
-        assert list(read_trace(path)) == [json.loads(raw)]
+        assert open(path).read() == (
+            '{"schema_version":"1.0","type":"trace.header"}\n' + event_line
+        )
+        # the header is consumed, not yielded
+        assert list(read_trace(path)) == [json.loads(event_line)]
+
+    def test_read_trace_accepts_headerless_legacy_files(self, tmp_path):
+        path = str(tmp_path / "legacy.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"t":0.0,"type":"x"}\n')
+        assert list(read_trace(path)) == [{"t": 0.0, "type": "x"}]
+
+    def test_read_trace_rejects_future_major_version(self, tmp_path):
+        path = str(tmp_path / "future.jsonl")
+        with open(path, "w") as fh:
+            fh.write('{"schema_version":"2.0","type":"trace.header"}\n')
+            fh.write('{"t":0.0,"type":"x"}\n')
+        with pytest.raises(ValueError, match="schema version"):
+            list(read_trace(path))
 
     def test_creates_parent_dirs(self, tmp_path):
         path = str(tmp_path / "deep" / "nested" / "t.jsonl")
