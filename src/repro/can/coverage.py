@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .geometry import Zone
 
 __all__ = ["Face", "face_of", "union_measure", "uncovered_fraction", "find_gaps", "has_gap"]
@@ -191,38 +193,58 @@ def has_gap(
     computation needed.  When stale believed records overlap fresh ones the
     sum over-counts, so this test can only err toward "covered" (missing a
     gap) — which is the local detector's honest failure mode anyway, never
-    toward a false alarm.  Candidates are pre-bucketed by their flush plane
-    so each face only looks at the records actually touching it.
+    toward a false alarm.
+
+    All 2*d faces of an own zone are checked in one vectorised batch: the
+    candidate boxes are clipped to the zone once, and the per-face covered
+    area is an exclude-one-axis product over the clipped extents.
     """
     if not own_zones:
         return False
     dims = own_zones[0].dims
     candidates = list(believed_zones) + list(own_zones)
-    # bucket candidate zones by (dim, boundary value) for both sides
-    buckets: dict = {}
-    for zone in candidates:
-        for dim in range(dims):
-            buckets.setdefault((dim, +1, round(zone.lo[dim], 12)), []).append(zone)
-            buckets.setdefault((dim, -1, round(zone.hi[dim], 12)), []).append(zone)
+    los = np.array([z.lo for z in candidates])  # (n, d)
+    his = np.array([z.hi for z in candidates])
+    lo_wall = np.asarray(space_lo, dtype=float)
+    hi_wall = np.asarray(space_hi, dtype=float)
+    n = len(candidates)
+    ones = np.ones((n, 1))
     for zone in own_zones:
-        for dim in range(dims):
-            for side in (+1, -1):
-                plane = zone.hi[dim] if side == +1 else zone.lo[dim]
-                boundary = space_hi[dim] if side == +1 else space_lo[dim]
-                if abs(plane - boundary) <= _EPS:
-                    continue
-                face = face_of(zone, dim, side)
-                covered = 0.0
-                for cand in buckets.get((dim, side, round(plane, 12)), ()):
-                    if cand is zone:
-                        continue
-                    proj = _project(cand, face)
-                    if proj is None:
-                        continue
-                    area = 1.0
-                    for lo, hi in proj:
-                        area *= hi - lo
-                    covered += area
-                if covered < face.area() * (1.0 - tolerance):
-                    return True
+        zlo = np.asarray(zone.lo, dtype=float)
+        zhi = np.asarray(zone.hi, dtype=float)
+        # clip every candidate to the zone's extent (shared by all faces)
+        ext = np.minimum(his, zhi) - np.maximum(los, zlo)  # (n, d)
+        pos = ext > _EPS
+        nonpos = (~pos).sum(axis=1)
+        # prod of ext over all axes but one: left * right cumulative products
+        left = np.cumprod(np.hstack((ones, ext[:, :-1])), axis=1)
+        right = np.cumprod(
+            np.hstack((ones, ext[:, :0:-1])), axis=1
+        )[:, ::-1]
+        areas = left * right  # (n, d): projection area onto face of axis k
+        # a candidate covers part of face k iff every *other* clipped axis
+        # has positive extent (the face axis itself is flush, extent 0)
+        valid = (nonpos == 0)[:, None] | ((nonpos == 1)[:, None] & ~pos)
+        not_self = np.fromiter(
+            (cand is not zone for cand in candidates), bool, n
+        )[:, None]
+        face_edges = zhi - zlo
+        f_left = np.cumprod(np.concatenate(([1.0], face_edges[:-1])))
+        f_right = np.cumprod(
+            np.concatenate(([1.0], face_edges[:0:-1]))
+        )[::-1]
+        face_areas = f_left * f_right  # (d,)
+        threshold = face_areas * (1.0 - tolerance)
+        for side_flush, planes, walls in (
+            (los, zhi, hi_wall),  # high faces: candidate lo flush at zone hi
+            (his, zlo, lo_wall),  # low faces: candidate hi flush at zone lo
+        ):
+            interior = np.abs(planes - walls) > _EPS  # (d,)
+            if not interior.any():
+                continue
+            flush = np.abs(side_flush - planes[None, :]) <= _EPS  # (n, d)
+            contrib = flush & valid & not_self
+            covered = (areas * contrib).sum(axis=0)  # (d,)
+            if (interior & (covered < threshold)).any():
+                return True
     return False

@@ -101,16 +101,26 @@ class Zone:
     def touch_dimension(self, other: "Zone") -> int:
         """Axis along which two abutting zones touch.
 
-        Raises ``ValueError`` when the zones do not abut.
+        Verifies abutment and finds the touch axis in one pass over the
+        axes (the same classification :meth:`abuts` performs, without a
+        second rescan).  Raises ``ValueError`` when the zones do not abut.
         """
-        if not self.abuts(other):
-            raise ValueError("zones do not abut")
+        self._check(other)
+        touch_dim = -1
         for d, (l1, h1, l2, h2) in enumerate(
             zip(self.lo, self.hi, other.lo, other.hi)
         ):
             if abs(h1 - l2) <= _EPS or abs(h2 - l1) <= _EPS:
-                return d
-        raise AssertionError("unreachable")  # pragma: no cover
+                if touch_dim >= 0:
+                    raise ValueError("zones do not abut")
+                touch_dim = d
+            elif min(h1, h2) - max(l1, l2) > _EPS:
+                continue  # positive overlap on this axis
+            else:
+                raise ValueError("zones do not abut")
+        if touch_dim < 0:
+            raise ValueError("zones do not abut")
+        return touch_dim
 
     def touch(self, other: "Zone") -> Tuple[int, int]:
         """(dimension, direction) of the shared face of two ABUTTING zones.

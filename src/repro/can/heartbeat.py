@@ -35,11 +35,14 @@ from ..obs.profiling import NULL_PROFILER
 from ..sim.monitor import TimeSeries
 from .coverage import has_gap
 from .messages import MessageType, SizeModel
-from .neighbor import BeliefRecord, NeighborTable, TableSnapshot
+from .neighbor import _NEG_INF, BeliefRecord, NeighborTable, TableSnapshot
 from .overlay import CanOverlay, OverlayError, Transfer
 from .stats import MessageStats
 
 __all__ = ["HeartbeatScheme", "ProtocolConfig", "HeartbeatProtocol", "ProtocolNode"]
+
+#: sentinel distinguishing "not resolved yet" from "resolved to undeliverable"
+_MISS = object()
 
 
 class HeartbeatScheme(enum.Enum):
@@ -100,15 +103,27 @@ class ProtocolNode:
         "own_version",
         "stored_tables",
         "processed_epoch",
-        "gap_dirty",
+        "_gap_dirty",
+        "_gap_registry",
         "gap_attempts",
         "_record_cache",
         "_record_cache_version",
         "_non_abutting",
+        "_wire_cache",
+        "_gap_memo",
+        "_broken_cache",
     )
 
-    def __init__(self, node_id: int, freshness_ttl: float = float("inf")):
+    def __init__(
+        self,
+        node_id: int,
+        freshness_ttl: float = float("inf"),
+        gap_registry: Optional[Set[int]] = None,
+    ):
         self.node_id = node_id
+        #: protocol-level set mirroring gap_dirty flags (see the gap_dirty
+        #: property) — None for a node used outside a protocol
+        self._gap_registry = gap_registry
         self.table = NeighborTable(freshness_ttl)
         self.own_version = 0
         #: full tables received from other nodes (vanilla: every neighbor;
@@ -120,7 +135,7 @@ class ProtocolNode:
         #: our zone changes alter which records abut us, and our own table
         #: changes (e.g. a removal) alter what a merge would contribute
         self.processed_epoch: Dict[int, Tuple[int, int, int]] = {}
-        self.gap_dirty = False
+        self._gap_dirty = False
         self.gap_attempts = 0
         self._record_cache: Optional[BeliefRecord] = None
         self._record_cache_version = -1
@@ -128,6 +143,33 @@ class ProtocolNode:
         #: test time.  Gossip keeps re-sending the same far-away records;
         #: re-testing zone abutment for each would dominate the run time.
         self._non_abutting: Dict[Tuple[int, int], int] = {}
+        #: memoized heartbeat wire sizes: ((table epoch, own zone count),
+        #: full size, compact size)
+        self._wire_cache: Optional[Tuple[Tuple[int, int], int, int]] = None
+        #: memoized gap-detector verdict: (key, bool) — see _detects_gap
+        self._gap_memo: Optional[Tuple[Tuple, bool]] = None
+        #: memoized broken-link count: ((neighborhood stamp, table epoch), n)
+        self._broken_cache: Optional[Tuple[Tuple[int, int], int]] = None
+
+    @property
+    def gap_dirty(self) -> bool:
+        """Should the adaptive scheme re-check this node's zone coverage?
+
+        Setting the flag keeps the owning protocol's dirty-id set in sync,
+        so the per-round check visits only flagged nodes instead of
+        scanning the population.
+        """
+        return self._gap_dirty
+
+    @gap_dirty.setter
+    def gap_dirty(self, flag: bool) -> None:
+        self._gap_dirty = flag
+        registry = self._gap_registry
+        if registry is not None:
+            if flag:
+                registry.add(self.node_id)
+            else:
+                registry.discard(self.node_id)
 
     def bump_version(self) -> None:
         self.own_version += 1
@@ -178,6 +220,16 @@ class HeartbeatProtocol:
         #: next round's messages (one heartbeat period of latency)
         self._reply_queue: List[Tuple[int, BeliefRecord, TableSnapshot]] = []
         self.events = {"joins": 0, "leaves": 0, "failures": 0, "claims": 0}
+        #: reverse index of ProtocolNode.stored_tables: sender id -> ids of
+        #: nodes holding a stored copy of its table.  Lets a take-over purge
+        #: the dead node's entries without sweeping the whole population.
+        self._stored_in: Dict[int, Set[int]] = {}
+        #: ids with gap_dirty set — the only nodes the adaptive scheme's
+        #: per-round coverage check needs to visit (kept in lock-step with
+        #: the per-node flags by the ProtocolNode.gap_dirty property)
+        self._gap_dirty_ids: Set[int] = set()
+        #: cached sorted member ids; None after any membership change
+        self._nodes_order: Optional[List[int]] = None
 
     def _record(
         self, now: float, mtype: MessageType, size_bytes: int, copies: int = 1
@@ -197,7 +249,10 @@ class HeartbeatProtocol:
     def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None:
         """Insert the very first CAN member."""
         self.overlay.add_node(node_id, coord)
-        self.nodes[node_id] = ProtocolNode(node_id, self.config.failure_timeout)
+        self.nodes[node_id] = ProtocolNode(
+            node_id, self.config.failure_timeout, self._gap_dirty_ids
+        )
+        self._nodes_order = None
 
     def join(self, node_id: int, coord: Sequence[float], now: float) -> bool:
         """A node joins; returns False when deferred (target zone in limbo)."""
@@ -216,8 +271,11 @@ class HeartbeatProtocol:
             self.tracer.emit(
                 now, "can.join", node=node_id, splitter=result.splitter_id
             )
-        newcomer = ProtocolNode(node_id, self.config.failure_timeout)
+        newcomer = ProtocolNode(
+            node_id, self.config.failure_timeout, self._gap_dirty_ids
+        )
         self.nodes[node_id] = newcomer
+        self._nodes_order = None
         splitter = self.nodes[result.splitter_id]
         splitter.bump_version()
 
@@ -229,8 +287,8 @@ class HeartbeatProtocol:
         # slice of its believed table relevant to the newcomer's zone.
         slice_records = [
             (rec, heard_at)
-            for rec, heard_at in splitter.table.snapshot().values()
-            if rec.abuts_any(new_zones)
+            for rec, heard_at in splitter.table.snapshot().pairs()
+            if self._record_relevant(newcomer, rec, new_zones)
         ]
         self._record(
             now,
@@ -244,10 +302,13 @@ class HeartbeatProtocol:
 
         # The splitter's zone shrank: drop neighbors now adjacent only to
         # the newcomer, and add the newcomer itself.
-        notify_ids = sorted(splitter.table.ids())
-        splitter.table.prune_non_abutting(self.overlay.zones_of(splitter.node_id))
+        notify_ids = splitter.table.sorted_ids()
+        splitter_zones = self.overlay.zones_of(splitter.node_id)
+        for rec in splitter.table.records():
+            if not self._record_relevant(splitter, rec, splitter_zones):
+                splitter.table.remove(rec.node_id)
         new_record = newcomer.own_record(self.overlay)
-        if new_record.abuts_any(self.overlay.zones_of(splitter.node_id)):
+        if self._record_relevant(splitter, new_record, splitter_zones):
             splitter.table.upsert(new_record, now)
         splitter.gap_dirty = True
 
@@ -275,19 +336,20 @@ class HeartbeatProtocol:
         model = self.config.size_model
         dims = self.overlay.space.dims
         leaver_table = leaver.table.snapshot()
+        handoff_size = model.table_bytes_from_totals(
+            dims, len(leaver_table), leaver_table.total_zones
+        )
         for transfer in transfers:
             claimant = self.nodes[transfer.to_node]
             claimant.bump_version()
-            self._record(
-                now,
-                MessageType.HANDOFF,
-                model.table_bytes(dims, [rec.zone_count for rec, _ in leaver_table.values()]),
-            )
+            self._record(now, MessageType.HANDOFF, handoff_size)
             self._absorb_table(claimant, leaver_table, now)
             claimant.table.remove(node_id)
             claimant.gap_dirty = True
             self._notify_takeover(claimant, node_id, transfer, leaver_table, now)
         del self.nodes[node_id]
+        self._nodes_order = None
+        self._gap_dirty_ids.discard(node_id)
 
     def fail(self, node_id: int, now: float) -> None:
         """Silent crash: no messages; neighbors find out via timeouts."""
@@ -337,25 +399,23 @@ class HeartbeatProtocol:
 
     # -- heartbeat exchange ---------------------------------------------------------
     def _exchange_heartbeats(self, now: float) -> None:
-        model = self.config.size_model
-        dims = self.overlay.space.dims
         vanilla = self.config.scheme is HeartbeatScheme.VANILLA
         takeovers = self._takeover_targets_map() if not vanilla else {}
-        for node_id in sorted(self.nodes):
+        # membership and liveness are fixed for the duration of the
+        # exchange, so target resolution is shared across all senders
+        deliverable: Dict[int, Optional[ProtocolNode]] = {}
+        miss = _MISS
+        for node_id in self._sorted_node_ids():
             if not self.overlay.is_alive(node_id):
                 continue  # ghosts are silent
             sender = self.nodes[node_id]
-            targets = sorted(sender.table.ids())
+            targets = sender.table.sorted_ids()
             if not targets:
                 continue
             own = sender.own_record(self.overlay)
-            records = sender.table.records()
-            full_size = model.heartbeat_bytes(
-                dims, own.zone_count, [r.zone_count for r in records]
-            )
-            compact_size = model.heartbeat_bytes(dims, own.zone_count, None)
+            full_size, compact_size = self._heartbeat_sizes(sender, own)
             if vanilla:
-                full_targets, compact_targets = targets, []
+                full_targets, compact_targets = targets, ()
             else:
                 tset = takeovers.get(node_id, set())
                 full_targets = [t for t in targets if t in tset]
@@ -367,16 +427,39 @@ class HeartbeatProtocol:
                 now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
             )
             for target_id in full_targets:
-                receiver = self._deliverable(target_id)
+                receiver = deliverable.get(target_id, miss)
+                if receiver is miss:
+                    receiver = self._deliverable(target_id)
+                    deliverable[target_id] = receiver
                 if receiver is None:
                     continue
-                self._receive_record(receiver, own, now, heard=True)
+                if not receiver.table.heard_from(own, now):
+                    self._receive_record(receiver, own, now, heard=True)
                 self._merge_full_table(receiver, sender, now)
             for target_id in compact_targets:
-                receiver = self._deliverable(target_id)
+                receiver = deliverable.get(target_id, miss)
+                if receiver is miss:
+                    receiver = self._deliverable(target_id)
+                    deliverable[target_id] = receiver
                 if receiver is None:
                     continue
-                self._receive_record(receiver, own, now, heard=True)
+                if not receiver.table.heard_from(own, now):
+                    self._receive_record(receiver, own, now, heard=True)
+
+    def _heartbeat_sizes(self, sender: ProtocolNode, own: BeliefRecord) -> Tuple[int, int]:
+        """(full, compact) heartbeat sizes, memoized per table/zone state."""
+        key = (sender.table.epoch, own.zone_count)
+        cached = sender._wire_cache
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        full = model.heartbeat_bytes_from_totals(
+            dims, own.zone_count, len(sender.table), sender.table.total_zones()
+        )
+        compact = model.heartbeat_bytes(dims, own.zone_count, None)
+        sender._wire_cache = (key, full, compact)
+        return full, compact
 
     def _merge_full_table(
         self, receiver: ProtocolNode, sender: ProtocolNode, now: float
@@ -388,10 +471,16 @@ class HeartbeatProtocol:
             receiver.table.removals_epoch,
         )
         last = receiver.processed_epoch.get(sender.node_id)
+        if last is None:
+            # first table stored from this sender: index the holder so a
+            # later take-over can purge it without a population sweep
+            self._stored_in.setdefault(sender.node_id, set()).add(
+                receiver.node_id
+            )
+        snap = sender.table.snapshot()
+        receiver.stored_tables[sender.node_id] = snap
         if last == key:
-            receiver.stored_tables[sender.node_id] = sender.table.snapshot()
             return
-        receiver.stored_tables[sender.node_id] = sender.table.snapshot()
         if last is not None and last[1:] == key[1:]:
             # Only the sender's table advanced: merging the delta suffices.
             # (Local removals or zone changes force a full re-merge below —
@@ -404,9 +493,7 @@ class HeartbeatProtocol:
                         own_zones=own_zones,
                     )
         else:
-            self._absorb_table(
-                receiver, receiver.stored_tables[sender.node_id], now
-            )
+            self._absorb_table(receiver, snap, now)
         receiver.processed_epoch[sender.node_id] = key
 
     def _absorb_table(
@@ -415,14 +502,32 @@ class HeartbeatProtocol:
         table: TableSnapshot,
         now: float,
     ) -> None:
-        """Merge third-party records that abut the receiver's zones."""
+        """Merge third-party records that abut the receiver's zones.
+
+        The dominant case by far is a record the receiver already believes
+        at the same version — nothing structural to learn — so that branch
+        of :meth:`_receive_record` is inlined here.  Binding the believed
+        dict once is safe: only the record id being processed can mutate
+        (and rebind) it, and every id appears at most once per snapshot.
+        """
         own_zones = self.overlay.zones_of(receiver.node_id)
-        for rec, heard_at in table.values():
-            if rec.node_id == receiver.node_id:
+        receiver_id = receiver.node_id
+        receive = self._receive_record
+        rtable = receiver.table
+        believed_get = rtable._records.get
+        advance = rtable.advance_freshness
+        heard_get = table.heard.get
+        for nid, rec in table.records.items():
+            if nid == receiver_id:
                 continue
-            self._receive_record(
-                receiver, rec, now, heard_at=heard_at, own_zones=own_zones
-            )
+            existing = believed_get(nid)
+            if existing is not None and rec.version <= existing.version:
+                advance(nid, heard_get(nid, _NEG_INF))
+            else:
+                receive(
+                    receiver, rec, now,
+                    heard_at=heard_get(nid, _NEG_INF), own_zones=own_zones,
+                )
 
     def _receive_record(
         self,
@@ -459,7 +564,7 @@ class HeartbeatProtocol:
             return  # same record, same zones: still not our neighbor
         if own_zones is None:
             own_zones = self.overlay.zones_of(receiver.node_id)
-        if not record.abuts_any(own_zones):
+        if not self._record_relevant(receiver, record, own_zones):
             if existing is not None:
                 receiver.table.remove(record.node_id)
                 receiver.gap_dirty = True
@@ -471,10 +576,35 @@ class HeartbeatProtocol:
         # and local zone changes do (set by the callers concerned).
         receiver.table.upsert(record, now, heard=heard, heard_at=heard_at)
 
+    def _record_relevant(
+        self,
+        receiver: ProtocolNode,
+        record: BeliefRecord,
+        own_zones: List,
+    ) -> bool:
+        """Does this record's subject abut the receiver's zones?
+
+        When the record carries the subject's *current* version and the
+        subject still holds zones in the overlay, the record's zones are by
+        construction the subject's ground-truth zones (overlay mutation
+        always precedes the version bump), so abutment reduces to a lookup
+        in the overlay's leaf-adjacency index.  Stale records (an old
+        version, or a subject whose zones were handed off) fall back to the
+        geometric scan — their zones exist nowhere but in the record.
+        """
+        subject = self.nodes.get(record.node_id)
+        if (
+            subject is not None
+            and subject.own_version == record.version
+            and record.node_id in self.overlay.members
+        ):
+            return record.node_id in self.overlay.neighbor_set(receiver.node_id)
+        return record.abuts_any(own_zones)
+
     # -- failure detection & take-over -------------------------------------------------
     def _detect_failures(self, now: float) -> None:
         timeout = self.config.failure_timeout
-        for node_id in sorted(self.nodes):
+        for node_id in self._sorted_node_ids():
             if not self.overlay.is_alive(node_id):
                 continue
             pnode = self.nodes[node_id]
@@ -519,9 +649,15 @@ class HeartbeatProtocol:
                 self._claim_zone(claimant, dead_id, transfer, known_table, now)
             del self._fail_times[dead_id]
             del self.nodes[dead_id]
-            for pnode in self.nodes.values():
-                pnode.stored_tables.pop(dead_id, None)
-                pnode.processed_epoch.pop(dead_id, None)
+            self._nodes_order = None
+            self._gap_dirty_ids.discard(dead_id)
+            # purge exactly the nodes holding the dead node's table (the
+            # reverse index), instead of sweeping the whole population
+            for holder_id in self._stored_in.pop(dead_id, ()):
+                holder = self.nodes.get(holder_id)
+                if holder is not None:
+                    holder.stored_tables.pop(dead_id, None)
+                    holder.processed_epoch.pop(dead_id, None)
 
     def _claim_zone(
         self,
@@ -580,10 +716,16 @@ class HeartbeatProtocol:
             self.config.periodic_gap_check_every
             and self._round % self.config.periodic_gap_check_every == 0
         )
-        for node_id in sorted(self.nodes):
-            if not self.overlay.is_alive(node_id):
+        # Without the periodic sweep only dirty nodes can pass the filter
+        # below, so visiting sorted(dirty) instead of sorted(all) reaches
+        # the same nodes in the same order (RNG draw order included).
+        candidates = (
+            self._sorted_node_ids() if periodic else sorted(self._gap_dirty_ids)
+        )
+        for node_id in candidates:
+            pnode = self.nodes.get(node_id)
+            if pnode is None or not self.overlay.is_alive(node_id):
                 continue
-            pnode = self.nodes[node_id]
             if not (pnode.gap_dirty or periodic):
                 continue
             if self.config.gap_detection_prob < 1.0 and self._rng is not None:
@@ -599,7 +741,7 @@ class HeartbeatProtocol:
                 )
             # Broadcast a full-update request to every believed neighbor;
             # each live one answers with its full table.
-            targets = sorted(pnode.table.ids())
+            targets = pnode.table.sorted_ids()
             self._record(
                 now,
                 MessageType.FULL_UPDATE_REQUEST,
@@ -610,11 +752,14 @@ class HeartbeatProtocol:
                 responder = self._deliverable(target_id)
                 if responder is None:
                     continue
-                records = responder.table.records()
                 self._record(
                     now,
                     MessageType.FULL_UPDATE_REPLY,
-                    model.table_bytes(dims, [r.zone_count for r in records] + [1]),
+                    model.table_bytes_from_totals(
+                        dims,
+                        len(responder.table) + 1,
+                        responder.table.total_zones() + 1,
+                    ),
                 )
                 # The reply crosses the network; it lands next round.
                 self._reply_queue.append(
@@ -625,7 +770,9 @@ class HeartbeatProtocol:
                     )
                 )
             pnode.gap_attempts += 1
-            pnode.gap_dirty = pnode.gap_attempts < self.config.gap_retry_rounds
+            pnode.gap_dirty = (
+                pnode.gap_attempts < self.config.gap_retry_rounds
+            )
 
     def _deliver_replies(self, now: float) -> None:
         """Deliver last round's full-update replies to their requesters."""
@@ -653,10 +800,29 @@ class HeartbeatProtocol:
         can miss gaps hidden behind stale believed zones — the honest
         failure mode of a local checker.  ``oracle`` mode compares with
         ground truth (never misses).
+
+        The verdict is a pure function of (time, overlay topology, believed
+        table state, own zones), so it is memoized on that key: the adaptive
+        scheme re-asks after every delivered reply in a round, and most
+        replies change none of the inputs.
         """
+        pnode = self.nodes[node_id]
+        key = (
+            self._now,
+            self.overlay.topology_version,
+            pnode.table.epoch,
+            pnode.own_version,
+        )
+        memo = pnode._gap_memo
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        verdict = self._detects_gap_uncached(node_id, pnode)
+        pnode._gap_memo = (key, verdict)
+        return verdict
+
+    def _detects_gap_uncached(self, node_id: int, pnode: ProtocolNode) -> bool:
         if self.config.detection == "oracle":
             return bool(self._missing_neighbors(node_id))
-        pnode = self.nodes[node_id]
         believed = [z for rec in pnode.table.records() for z in rec.zones]
         # a just-removed (suspected-failed) neighbor's zone is not a broken
         # link yet: its predetermined take-over is in flight
@@ -675,20 +841,50 @@ class HeartbeatProtocol:
     def _missing_neighbors(self, node_id: int) -> Set[int]:
         truth = {
             nid
-            for nid in self.overlay.neighbors(node_id)
+            for nid in self.overlay.neighbor_set(node_id)
             if self.overlay.is_alive(nid)
         }
         return truth - self.nodes[node_id].table.ids()
 
     def count_broken_links(self) -> int:
-        """Directed count of ground-truth neighbors missing from beliefs."""
+        """Directed count of ground-truth neighbors missing from beliefs.
+
+        Per-node counts are cached against (neighborhood stamp, table
+        epoch): a node whose surroundings and beliefs did not change since
+        the last round contributes its previous count without recomputation.
+        """
+        overlay = self.overlay
+        alive = overlay.is_alive
         total = 0
-        for node_id in self.nodes:
-            if self.overlay.is_alive(node_id):
-                total += len(self._missing_neighbors(node_id))
+        for node_id, pnode in self.nodes.items():
+            if not alive(node_id):
+                continue
+            key = (overlay.neighborhood_stamp(node_id), pnode.table.epoch)
+            cached = pnode._broken_cache
+            if cached is not None and cached[0] == key:
+                total += cached[1]
+                continue
+            believed = pnode.table.ids_view()
+            missing = 0
+            for nid in overlay.neighbor_set(node_id):
+                if nid not in believed and alive(nid):
+                    missing += 1
+            pnode._broken_cache = (key, missing)
+            total += missing
         return total
 
     # -- plumbing ----------------------------------------------------------------------
+    def _sorted_node_ids(self) -> List[int]:
+        """Sorted member ids, cached until the membership changes.
+
+        Callers iterate but never mutate the returned list; any join or
+        departure resets ``_nodes_order`` to None.
+        """
+        order = self._nodes_order
+        if order is None:
+            order = self._nodes_order = sorted(self.nodes)
+        return order
+
     def _deliverable(self, node_id: int) -> Optional[ProtocolNode]:
         """Target of a message: None when it is dead or gone (message lost)."""
         if not self.overlay.is_alive(node_id):

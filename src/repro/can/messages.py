@@ -63,6 +63,31 @@ class SizeModel:
             + self.load_block_bytes
         )
 
+    def record_base_bytes(self, dims: int) -> int:
+        """The zone-count-independent part of :meth:`record_bytes`."""
+        if dims <= 0:
+            raise ValueError("dims must be positive")
+        return (
+            self.id_bytes
+            + self.version_bytes
+            + dims * self.float_bytes
+            + self.load_block_bytes
+        )
+
+    def table_records_bytes(self, dims: int, records: int, total_zones: int) -> int:
+        """Sum of :meth:`record_bytes` over a table, from incremental totals.
+
+        ``total_zones`` must be ``sum(max(zone_count, 1))`` over the records
+        (as :class:`~repro.can.neighbor.NeighborTable` maintains), making
+        this O(1) where summing per-record sizes is O(records).
+        """
+        if records < 0 or total_zones < records:
+            raise ValueError("need records >= 0 and total_zones >= records")
+        return (
+            records * self.record_base_bytes(dims)
+            + total_zones * 2 * dims * self.float_bytes
+        )
+
     def aggregates_bytes(self, dims: int) -> int:
         """Piggybacked per-dimension aggregated load info (O(d) total)."""
         return dims * self.agg_fields_per_dim * self.float_bytes
@@ -85,12 +110,31 @@ class SizeModel:
                 size += self.record_bytes(dims, max(zc, 1))
         return size
 
+    def heartbeat_bytes_from_totals(
+        self, dims: int, own_zones: int, records: int, total_zones: int
+    ) -> int:
+        """O(1) equivalent of :meth:`heartbeat_bytes` for a full heartbeat."""
+        return (
+            self.header_bytes
+            + self.record_bytes(dims, own_zones)
+            + self.aggregates_bytes(dims)
+            + self.table_records_bytes(dims, records, total_zones)
+        )
+
     def table_bytes(self, dims: int, zone_counts: "list[int]") -> int:
         """A bare table payload (join reply, hand-off, full-update reply)."""
         size = self.header_bytes
         for zc in zone_counts:
             size += self.record_bytes(dims, max(zc, 1))
         return size
+
+    def table_bytes_from_totals(
+        self, dims: int, records: int, total_zones: int
+    ) -> int:
+        """O(1) equivalent of :meth:`table_bytes` from incremental totals."""
+        return self.header_bytes + self.table_records_bytes(
+            dims, records, total_zones
+        )
 
     def notify_bytes(self, dims: int, records: int = 2) -> int:
         """Join/take-over notifications: a couple of records."""

@@ -72,6 +72,14 @@ class CanOverlay:
         # lazy per-node directional adjacency: node -> {(dim, dir): owners}
         self._dir_cache_version: int = -1
         self._dir_cache: Dict[int, Dict[Tuple[int, int], Set[int]]] = {}
+        #: per-node neighborhood stamps: ``_nbr_stamp[n]`` advances whenever
+        #: node n's ground-truth neighborhood (or a neighbor's liveness) can
+        #: have changed.  Unlike ``topology_version`` this is *local*: a
+        #: split on the far side of the space leaves most stamps — and
+        #: therefore most per-node caches — intact.
+        self._nbr_tick: int = 0
+        self._nbr_stamp: Dict[int, int] = {}
+        self._nbr_sets: Dict[int, Tuple[int, frozenset]] = {}
 
     # ------------------------------------------------------------------ queries --
     @property
@@ -102,6 +110,37 @@ class CanOverlay:
                 out.add(self.tree.leaves[adj_lid].owner)
         out.discard(node_id)
         return out
+
+    def neighborhood_stamp(self, node_id: int) -> int:
+        """Monotone counter advancing when this node's neighborhood changes.
+
+        Covers adjacency changes (splits, merges, transfers, drops) *and*
+        liveness flips of adjacent owners, so any value derived from
+        :meth:`neighbor_set` plus member liveness can be cached against it.
+        """
+        return self._nbr_stamp.get(node_id, 0)
+
+    def neighbor_set(self, node_id: int) -> frozenset:
+        """:meth:`neighbors` as a frozenset, cached per neighborhood stamp.
+
+        The believed-table layer resolves record relevance against this set
+        (membership test) instead of pairwise zone abutment scans.
+        """
+        stamp = self._nbr_stamp.get(node_id, 0)
+        cached = self._nbr_sets.get(node_id)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        nset = frozenset(self.neighbors(node_id))
+        self._nbr_sets[node_id] = (stamp, nset)
+        return nset
+
+    def _touch_nodes(self, node_ids: Iterable[int]) -> None:
+        """Advance the neighborhood stamp of every listed node."""
+        self._nbr_tick += 1
+        tick = self._nbr_tick
+        stamp = self._nbr_stamp
+        for nid in node_ids:
+            stamp[nid] = tick
 
     def neighbors_along(self, node_id: int, dim: int, direction: int) -> Set[int]:
         """Neighbors reached by crossing a face along ``dim`` toward ``direction``."""
@@ -182,6 +221,7 @@ class CanOverlay:
             self._owner_leaves[node_id] = {root_leaf.leaf_id}
             self._adj[root_leaf.leaf_id] = set()
             self.topology_version += 1
+            self._touch_nodes((node_id,))
             return JoinResult(node_id, None, root_leaf.leaf_id, None, None)
 
         target = self.tree.locate(coord)
@@ -215,6 +255,7 @@ class CanOverlay:
             raise OverlayError(f"node {node_id} already failed")
         transfers = self._transfer_all(node_id)
         del self.members[node_id]
+        self._forget_member(node_id)
         return transfers
 
     def fail(self, node_id: int) -> None:
@@ -224,6 +265,8 @@ class CanOverlay:
             raise OverlayError(f"node {node_id} already failed")
         member.alive = False
         self.topology_version += 1
+        # liveness is part of what neighbors cache about their neighborhood
+        self._touch_nodes({node_id} | self.neighbors(node_id))
 
     def claim_zones(self, dead_id: int) -> List[Transfer]:
         """Execute the predetermined take-over for a detected failure."""
@@ -232,7 +275,13 @@ class CanOverlay:
             raise OverlayError(f"node {dead_id} has not failed")
         transfers = self._transfer_all(dead_id)
         del self.members[dead_id]
+        self._forget_member(dead_id)
         return transfers
+
+    def _forget_member(self, node_id: int) -> None:
+        """Drop per-node cache state of a departed member (ids never recur)."""
+        self._nbr_stamp.pop(node_id, None)
+        self._nbr_sets.pop(node_id, None)
 
     # ------------------------------------------------------------------ internals --
     def _transfer_all(self, node_id: int) -> List[Transfer]:
@@ -254,6 +303,10 @@ class CanOverlay:
             self.tree.transfer(leaf, new_owner)
             self._owner_leaves[node_id].discard(lid)
             self._owner_leaves.setdefault(new_owner, set()).add(lid)
+            self._touch_nodes(
+                {self.tree.leaves[a].owner for a in self._adj[lid]}
+                | {node_id, new_owner}
+            )
             self._cascade_merges(leaf)
         self._owner_leaves.pop(node_id, None)
         self.topology_version += 1
@@ -277,8 +330,10 @@ class CanOverlay:
 
     def _drop_leaf(self, leaf_id: int) -> None:
         assert self.tree is not None
-        for adj in self._adj.pop(leaf_id, set()):
-            self._adj[adj].discard(leaf_id)
+        adj = self._adj.pop(leaf_id, set())
+        self._touch_nodes({self.tree.leaves[a].owner for a in adj})
+        for a in adj:
+            self._adj[a].discard(leaf_id)
         self.tree.leaves.pop(leaf_id, None)
 
     def _split_adjacency(self, old_id: int, low: Leaf, high: Leaf) -> None:
@@ -299,6 +354,10 @@ class CanOverlay:
         high_adj.add(low.leaf_id)
         self._adj[low.leaf_id] = low_adj
         self._adj[high.leaf_id] = high_adj
+        leaves = self.tree.leaves
+        self._touch_nodes(
+            {leaves[oid].owner for oid in old_adj} | {low.owner, high.owner}
+        )
 
     def _merge_adjacency(self, a: Leaf, b: Leaf, merged: Leaf) -> None:
         adj = (self._adj.pop(a.leaf_id) | self._adj.pop(b.leaf_id)) - {
@@ -310,6 +369,11 @@ class CanOverlay:
             self._adj[other_id].discard(b.leaf_id)
             self._adj[other_id].add(merged.leaf_id)
         self._adj[merged.leaf_id] = adj
+        assert self.tree is not None
+        leaves = self.tree.leaves
+        self._touch_nodes(
+            {leaves[oid].owner for oid in adj} | {merged.owner}
+        )
 
     @staticmethod
     def _choose_split(

@@ -6,8 +6,9 @@ Commands:
                                     breakdowns per run/scheme, and push-hop
                                     histograms for one or more trace files
     bench [--smoke] [--out PATH]    run the canonical performance benchmark
-                                    suite and write a BENCH_<timestamp>.json
-                                    trajectory point
+          [--filter SUBSTRING]      suite (or the subset whose names contain
+                                    SUBSTRING) and write a
+                                    BENCH_<timestamp>.json trajectory point
     compare A.json B.json           diff two BENCH files; nonzero exit when
                                     any run/scope regressed past --threshold
 """
@@ -49,7 +50,11 @@ def _cmd_bench(args) -> int:
     mode = "smoke" if args.smoke else "full"
     progress.start("bench")
     payload, path = run_bench(
-        mode=mode, seed=args.seed, out_path=args.out, progress=progress
+        mode=mode,
+        seed=args.seed,
+        out_path=args.out,
+        progress=progress,
+        name_filter=args.filter,
     )
     progress.done("bench", events=len(payload["runs"]))
     print(path)
@@ -103,6 +108,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--out",
         default=None,
         help="output path (default: results/BENCH_<timestamp>.json)",
+    )
+    p_bench.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTRING",
+        help="run only scenarios whose name contains SUBSTRING "
+        "(e.g. 'micro.heartbeat' or 'fig7')",
     )
 
     p_cmp = sub.add_parser(

@@ -146,34 +146,105 @@ def _micro_route(routes: int, nodes: int, seed: int):
     return fn
 
 
-def _micro_heartbeat(scheme, rounds: int, nodes: int, seed: int):
+def _build_protocol(scheme, nodes: int, seed: int, profiler=None):
+    """A populated heartbeat protocol on a fresh overlay (shared harness)."""
     from ..can.heartbeat import HeartbeatProtocol, ProtocolConfig
     from ..can.overlay import CanOverlay
     from ..can.space import ResourceSpace
     from ..workload.nodes import generate_node_specs
 
+    space = ResourceSpace(gpu_slots=2)
+    overlay = CanOverlay(space)
+    proto = HeartbeatProtocol(
+        overlay, ProtocolConfig(scheme=scheme), profiler=profiler
+    )
+    rng = np.random.default_rng(seed)
+    specs = generate_node_specs(nodes, 2, rng)
+    proto.bootstrap(
+        specs[0].node_id,
+        space.node_coordinate(specs[0], float(rng.random())),
+    )
+    for spec in specs[1:]:
+        proto.join(
+            spec.node_id,
+            space.node_coordinate(spec, float(rng.random())),
+            now=0.0,
+        )
+    return proto
+
+
+def _micro_heartbeat(scheme, rounds: int, nodes: int, seed: int):
     def fn(profiler: Profiler) -> Dict[str, Any]:
-        space = ResourceSpace(gpu_slots=2)
-        overlay = CanOverlay(space)
-        proto = HeartbeatProtocol(
-            overlay, ProtocolConfig(scheme=scheme), profiler=profiler
-        )
-        rng = np.random.default_rng(seed)
-        specs = generate_node_specs(nodes, 2, rng)
-        proto.bootstrap(
-            specs[0].node_id,
-            space.node_coordinate(specs[0], float(rng.random())),
-        )
-        for spec in specs[1:]:
-            proto.join(
-                spec.node_id,
-                space.node_coordinate(spec, float(rng.random())),
-                now=0.0,
-            )
+        proto = _build_protocol(scheme, nodes, seed, profiler=profiler)
         t0 = CLOCK()
         for i in range(rounds):
             proto.run_round(60.0 * (i + 1))
         return _micro_metrics(rounds, CLOCK() - t0)
+
+    return fn
+
+
+def _micro_table_merge(merges: int, nodes: int, seed: int):
+    """Full-table merge path: re-absorb a believed neighbor's whole table.
+
+    One warm-up round populates tables; each iteration then drops the
+    receiver's processed-epoch entry for one sender (forcing the full merge
+    rather than the unchanged-re-send fast path) and merges that sender's
+    table again — the vanilla scheme's hottest sub-path.
+    """
+    from ..can.heartbeat import HeartbeatScheme
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        proto = _build_protocol(HeartbeatScheme.VANILLA, nodes, seed)
+        proto.run_round(60.0)
+        pairs = []
+        for receiver_id in sorted(proto.nodes):
+            receiver = proto.nodes[receiver_id]
+            for sender_id in receiver.table.sorted_ids():
+                sender = proto.nodes.get(sender_id)
+                if sender is not None:
+                    pairs.append((receiver, sender))
+        done = 0
+        t0 = CLOCK()
+        with profiler.scope("can.table_merge"):
+            while done < merges:
+                for receiver, sender in pairs:
+                    if done >= merges:
+                        break
+                    receiver.processed_epoch.pop(sender.node_id, None)
+                    proto._merge_full_table(receiver, sender, 120.0)
+                    done += 1
+        return _micro_metrics(done, CLOCK() - t0)
+
+    return fn
+
+
+def _micro_broken_links(counts: int, nodes: int, seed: int):
+    """count_broken_links under per-iteration table churn.
+
+    Each iteration perturbs one node's believed table (remove + re-insert a
+    record, invalidating that node's cached count) before recounting, so
+    the benchmark measures the incremental-recount path rather than pure
+    cache hits.
+    """
+    from ..can.heartbeat import HeartbeatScheme
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        proto = _build_protocol(HeartbeatScheme.VANILLA, nodes, seed)
+        proto.run_round(60.0)
+        ids = sorted(proto.nodes)
+        t0 = CLOCK()
+        with profiler.scope("can.count_broken_links"):
+            for i in range(counts):
+                pnode = proto.nodes[ids[i % len(ids)]]
+                if len(pnode.table):
+                    nid = pnode.table.sorted_ids()[0]
+                    rec = pnode.table.get(nid)
+                    heard = pnode.table.last_heard(nid)
+                    pnode.table.remove(nid)
+                    pnode.table.upsert(rec, heard, heard=True)
+                proto.count_broken_links()
+        return _micro_metrics(counts, CLOCK() - t0)
 
     return fn
 
@@ -333,6 +404,22 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
             "micro",
             _micro_placement("can-het", repeats, seed),
         ),
+        (
+            "micro.table_merge",
+            "micro",
+            "micro",
+            _micro_table_merge(
+                2_000 if smoke else 10_000, 100 if smoke else 200, seed
+            ),
+        ),
+        (
+            "micro.broken_links",
+            "micro",
+            "micro",
+            _micro_broken_links(
+                200 if smoke else 1_000, 100 if smoke else 200, seed
+            ),
+        ),
     ]
     return rows
 
@@ -349,13 +436,29 @@ def run_bench(
     out_dir: str = "results",
     out_path: Optional[str] = None,
     progress=None,
+    name_filter: Optional[str] = None,
 ) -> Tuple[Dict[str, Any], str]:
-    """Run the suite, write ``BENCH_*.json`` atomically, return (payload, path)."""
+    """Run the suite, write ``BENCH_*.json`` atomically, return (payload, path).
+
+    ``name_filter`` keeps only suite rows whose name contains the given
+    substring (e.g. ``"micro.heartbeat"``); an exhaustive filter is an
+    error rather than a silently empty benchmark.
+    """
     if mode not in ("smoke", "full"):
         raise ValueError(f"unknown bench mode {mode!r}")
     suite = _suite(mode, seed)
+    if name_filter:
+        suite = [row for row in suite if name_filter in row[0]]
+        if not suite:
+            raise ValueError(
+                f"--filter {name_filter!r} matches no bench scenario"
+            )
     manifest = RunManifest(name=f"bench-{mode}", seed=seed)
-    manifest.config = {"mode": mode, "runs": len(suite)}
+    manifest.config = {
+        "mode": mode,
+        "runs": len(suite),
+        **({"filter": name_filter} if name_filter else {}),
+    }
     runs: List[Dict[str, Any]] = []
     for i, (name, group, kind, workload) in enumerate(suite):
         if progress is not None:

@@ -1,0 +1,93 @@
+"""Shared harness for the heartbeat accounting-neutrality goldens.
+
+The perf work on the heartbeat engine must be *accounting-neutral*: a
+seeded churn run has to produce byte-identical message counters and JSONL
+traces before and after any optimisation.  This module runs small
+fig7/fig8-shaped churn scenarios and reduces each to a JSON-serialisable
+fingerprint; ``tests/can/goldens/heartbeat_accounting.json`` pins the
+fingerprints produced by the pre-optimisation engine, and
+``test_heartbeat_goldens.py`` re-runs the scenarios against them.
+
+Regenerate (only when a *deliberate* protocol change alters the numbers)::
+
+    PYTHONPATH=src python tests/can/hb_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict
+
+from repro.can.heartbeat import HeartbeatScheme
+from repro.gridsim import ChurnSimulation
+from repro.gridsim.config import ChurnConfig
+from repro.obs.events import Tracer
+from repro.obs.trace import JsonlTraceWriter
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "goldens", "heartbeat_accounting.json"
+)
+
+#: (name, config kwargs) — one high-churn fig7 shape and one sparser,
+#: larger-population fig8 shape, each small enough for the test suite
+CASES = {
+    "fig7": dict(
+        initial_nodes=40, event_gap_mean=15.0, duration=1_800.0
+    ),
+    "fig8": dict(
+        initial_nodes=60, event_gap_mean=120.0, duration=900.0
+    ),
+}
+
+SCHEMES = [
+    HeartbeatScheme.VANILLA,
+    HeartbeatScheme.COMPACT,
+    HeartbeatScheme.ADAPTIVE,
+]
+
+
+def run_case(case: str, scheme: HeartbeatScheme, seed: int = 20110926) -> Dict[str, Any]:
+    """One seeded churn run reduced to its accounting fingerprint."""
+    config = ChurnConfig(scheme=scheme, seed=seed, **CASES[case])
+    fd, trace_path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        with JsonlTraceWriter(trace_path) as writer:
+            tracer = Tracer()
+            tracer.subscribe(writer)
+            sim = ChurnSimulation(config, tracer=tracer)
+            result = sim.run()
+        with open(trace_path, "rb") as fh:
+            trace_sha = hashlib.sha256(fh.read()).hexdigest()
+    finally:
+        os.unlink(trace_path)
+    stats = sim.protocol.stats
+    return {
+        "count": {t.value: stats.count[t] for t in sorted(stats.count, key=lambda t: t.value)},
+        "bytes": {t.value: stats.bytes[t] for t in sorted(stats.bytes, key=lambda t: t.value)},
+        "events": dict(sim.protocol.events),
+        "final_population": result.final_population,
+        "broken_links_sum": int(sum(result.broken_links_values)),
+        "broken_links_last": int(result.broken_links_values[-1]),
+        "trace_sha256": trace_sha,
+    }
+
+
+def run_all(seed: int = 20110926) -> Dict[str, Any]:
+    return {
+        f"{case}.{scheme.value}": run_case(case, scheme, seed)
+        for case in CASES
+        for scheme in SCHEMES
+    }
+
+
+if __name__ == "__main__":
+    payload = run_all()
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,33 @@
+"""Accounting-neutrality regression: seeded churn runs pin their goldens.
+
+The incremental heartbeat engine (epoch-shared snapshots, adjacency-indexed
+absorption, cached wire sizes, dirty-set gap checks) is a pure performance
+rework: message counts, byte totals, protocol events, population, the
+broken-links series, and the JSONL trace of a seeded run must all stay
+byte-identical to the committed goldens.  A legitimate protocol change that
+moves these numbers must regenerate the goldens (see hb_golden.py) and call
+that out in review.
+"""
+
+import json
+
+import pytest
+
+from tests.can.hb_golden import CASES, GOLDEN_PATH, SCHEMES, run_case
+
+with open(GOLDEN_PATH) as fh:
+    GOLDENS = json.load(fh)
+
+
+@pytest.mark.parametrize(
+    "case,scheme",
+    [(case, scheme) for case in CASES for scheme in SCHEMES],
+    ids=[f"{case}.{scheme.value}" for case in CASES for scheme in SCHEMES],
+)
+def test_accounting_fingerprint_matches_golden(case, scheme):
+    got = run_case(case, scheme)
+    want = GOLDENS[f"{case}.{scheme.value}"]
+    # compare field by field first so a drift names the counter, not a blob
+    for field in want:
+        assert got[field] == want[field], f"{field} drifted"
+    assert got == want

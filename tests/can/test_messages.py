@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.can.messages import MessageType, SizeModel
 
@@ -70,3 +72,50 @@ class TestSizeModel:
     def test_message_types_enumerated(self):
         assert len(MessageType) == 8
         assert MessageType.HEARTBEAT.value == "heartbeat"
+
+
+class TestFromTotals:
+    """The O(1) totals-based sizes must equal the per-record sums exactly."""
+
+    def setup_method(self):
+        self.model = SizeModel()
+
+    @staticmethod
+    def _totals(zone_counts):
+        return len(zone_counts), sum(max(zc, 1) for zc in zone_counts)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        dims=st.integers(1, 16),
+        zone_counts=st.lists(st.integers(0, 5), max_size=30),
+    )
+    def test_table_bytes_equivalence(self, dims, zone_counts):
+        records, total_zones = self._totals(zone_counts)
+        assert self.model.table_bytes_from_totals(
+            dims, records, total_zones
+        ) == self.model.table_bytes(dims, zone_counts)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        dims=st.integers(1, 16),
+        own_zones=st.integers(1, 4),
+        zone_counts=st.lists(st.integers(0, 5), max_size=30),
+    )
+    def test_heartbeat_bytes_equivalence(self, dims, own_zones, zone_counts):
+        records, total_zones = self._totals(zone_counts)
+        assert self.model.heartbeat_bytes_from_totals(
+            dims, own_zones, records, total_zones
+        ) == self.model.heartbeat_bytes(dims, own_zones, zone_counts)
+
+    def test_record_base_is_single_zone_record_minus_box(self):
+        dims = 11
+        assert self.model.record_base_bytes(dims) == (
+            self.model.record_bytes(dims, 1)
+            - 2 * dims * self.model.float_bytes
+        )
+
+    def test_invalid_totals(self):
+        with pytest.raises(ValueError):
+            self.model.table_records_bytes(11, 3, 2)  # total < records
+        with pytest.raises(ValueError):
+            self.model.record_base_bytes(0)

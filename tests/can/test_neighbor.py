@@ -134,3 +134,67 @@ class TestSnapshot:
         s1 = t.snapshot()
         t.remove(1)
         assert 1 not in t.snapshot()
+
+    def test_snapshot_frozen_against_later_mutation(self):
+        """Copy-on-write: a handed-out snapshot keeps capture-time state."""
+        t = NeighborTable()
+        t.upsert(record(nid=1), 0.0, heard=True)
+        snap = t.snapshot()
+        t.upsert(record(nid=2, lo=(0.0, 1.0), hi=(1.0, 2.0)), 1.0, heard=True)
+        t.touch(1, 9.0)
+        t.remove(1)
+        assert list(snap) == [1]
+        assert snap[1][1] == 0.0
+        assert len(snap) == 1 and snap.total_zones == 1
+        fresh = t.snapshot()
+        assert 1 not in fresh and 2 in fresh
+
+    def test_snapshot_iteration_matches_table(self):
+        t = NeighborTable()
+        t.upsert(record(nid=1), 0.0, heard=True)
+        t.upsert(record(nid=2, lo=(0.0, 1.0), hi=(1.0, 2.0)), 3.0, heard=True)
+        snap = t.snapshot()
+        assert dict(snap.items()) == {nid: snap[nid] for nid in snap}
+        assert list(snap.pairs()) == list(snap.values())
+        assert {rec.node_id for rec, _ in snap.pairs()} == {1, 2}
+
+
+class TestIncrementals:
+    def test_total_zones_tracks_changes(self):
+        t = NeighborTable()
+        assert t.total_zones() == 0
+        t.upsert(record(nid=1), 0.0, heard=True)
+        assert t.total_zones() == 1
+        two_zones = BeliefRecord(
+            node_id=1,
+            version=1,
+            zones=(Zone((1.0, 0.0), (2.0, 1.0)), Zone((2.0, 0.0), (3.0, 1.0))),
+            coord=(1.5, 0.5),
+        )
+        t.upsert(two_zones, 1.0, heard=True)
+        assert t.total_zones() == 2
+        t.remove(1)
+        assert t.total_zones() == 0
+
+    def test_sorted_ids_cached_and_refreshed(self):
+        t = NeighborTable()
+        t.upsert(record(nid=5), 0.0, heard=True)
+        t.upsert(record(nid=2, lo=(0.0, 1.0), hi=(1.0, 2.0)), 0.0, heard=True)
+        first = t.sorted_ids()
+        assert first == [2, 5]
+        assert t.sorted_ids() is first  # cached while unchanged
+        t.upsert(record(nid=9, lo=(1.0, 1.0), hi=(2.0, 2.0)), 0.0, heard=True)
+        assert t.sorted_ids() == [2, 5, 9]
+        assert first == [2, 5]  # old list untouched (rebind, not mutate)
+
+    def test_heard_from_fast_path(self):
+        t = NeighborTable()
+        assert not t.heard_from(record(), 5.0)  # unknown: full path needed
+        t.upsert(record(version=1), 0.0, heard=True)
+        epoch = t.epoch
+        assert t.heard_from(record(version=1), 7.0)
+        assert t.last_heard(1) == 7.0
+        assert t.epoch == epoch  # liveness only, no structural change
+        assert t.heard_from(record(version=0), 9.0)  # older version: absorbed
+        assert t.get(1).version == 1
+        assert not t.heard_from(record(version=2), 10.0)  # newer: full path
