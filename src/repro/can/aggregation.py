@@ -79,6 +79,17 @@ class AggregationEngine:
         self.rounds_run = 0
 
     # -- topology ------------------------------------------------------------------
+    def is_stale(self) -> bool:
+        """Has the overlay changed since the last aggregation step?
+
+        A stale engine still answers queries, but its directional
+        summaries describe the pre-churn topology (and propagated state is
+        reset on the next step).  The recovery layer keys its degraded
+        expanding-ring fallback on this: a failed placement while stale
+        says little about whether capable nodes exist.
+        """
+        return self._topology_version != self.overlay.topology_version
+
     def _ensure_topology(self) -> None:
         if self._topology_version == self.overlay.topology_version:
             return

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -230,6 +230,18 @@ class HeartbeatProtocol:
         self._gap_dirty_ids: Set[int] = set()
         #: cached sorted member ids; None after any membership change
         self._nodes_order: Optional[List[int]] = None
+        #: optional hook fired once per genuinely-failed node, the first
+        #: time any live believer times it out (or at claim time, whichever
+        #: comes first): ``fn(dead_id, now)``.  The faulty-grid layer hangs
+        #: job resubmission off this, so recovery starts when the *protocol*
+        #: notices a crash rather than after a modelled constant.
+        self.on_failure_detected: Optional[Callable[[int, float], None]] = None
+        #: failed ids already reported through on_failure_detected
+        self._detected_failures: Set[int] = set()
+        #: heartbeat delivery loss probability (fault injection); at the
+        #: default 0.0 no RNG is consulted, keeping seeded runs unchanged
+        self._loss_rate: float = 0.0
+        self._loss_rng: Optional[np.random.Generator] = None
 
     def _record(
         self, now: float, mtype: MessageType, size_bytes: int, copies: int = 1
@@ -359,6 +371,46 @@ class HeartbeatProtocol:
         if self.tracer is not None:
             self.tracer.emit(now, "can.fail", node=node_id)
 
+    def adopt_overlay(self, now: float = 0.0) -> None:
+        """Warm-start protocol state for an overlay built outside it.
+
+        The grid simulations construct their CAN via
+        :func:`~repro.gridsim.simulation.build_grid` (no per-join message
+        accounting wanted for the bootstrap).  Adoption creates a
+        :class:`ProtocolNode` for every member and seeds each believed
+        table with its ground-truth neighbors, all freshly heard at
+        ``now`` — the state a long-converged protocol would be in.
+        """
+        for node_id in sorted(self.overlay.members):
+            if node_id not in self.nodes:
+                self.nodes[node_id] = ProtocolNode(
+                    node_id, self.config.failure_timeout, self._gap_dirty_ids
+                )
+        for node_id, pnode in self.nodes.items():
+            for nid in sorted(self.overlay.neighbor_set(node_id)):
+                other = self.nodes.get(nid)
+                if other is not None:
+                    pnode.table.upsert(other.own_record(self.overlay), now)
+        self._nodes_order = None
+
+    def set_message_loss(
+        self, rate: float, rng: Optional["np.random.Generator"]
+    ) -> None:
+        """Drop each heartbeat delivery independently with ``rate``.
+
+        Fault injection for the recovery experiments: loss starves
+        believed tables of freshness evidence, so failure detection (and
+        the repair each scheme can or cannot perform) degrades
+        differently per scheme.  ``rate == 0`` restores the loss-free
+        path with no RNG draws at all.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if rate > 0.0 and rng is None:
+            raise ValueError("message loss needs a seeded rng")
+        self._loss_rate = float(rate)
+        self._loss_rng = rng
+
     # ------------------------------------------------------------------ the round --
     def run_round(self, now: float) -> None:
         """One heartbeat period: exchange, detect, claim, repair, measure.
@@ -405,6 +457,8 @@ class HeartbeatProtocol:
         # exchange, so target resolution is shared across all senders
         deliverable: Dict[int, Optional[ProtocolNode]] = {}
         miss = _MISS
+        loss_rng = self._loss_rng if self._loss_rate > 0.0 else None
+        loss_rate = self._loss_rate
         for node_id in self._sorted_node_ids():
             if not self.overlay.is_alive(node_id):
                 continue  # ghosts are silent
@@ -427,6 +481,8 @@ class HeartbeatProtocol:
                 now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
             )
             for target_id in full_targets:
+                if loss_rng is not None and loss_rng.random() < loss_rate:
+                    continue  # dropped in flight (sender still paid the bytes)
                 receiver = deliverable.get(target_id, miss)
                 if receiver is miss:
                     receiver = self._deliverable(target_id)
@@ -437,6 +493,8 @@ class HeartbeatProtocol:
                     self._receive_record(receiver, own, now, heard=True)
                 self._merge_full_table(receiver, sender, now)
             for target_id in compact_targets:
+                if loss_rng is not None and loss_rng.random() < loss_rate:
+                    continue
                 receiver = deliverable.get(target_id, miss)
                 if receiver is miss:
                     receiver = self._deliverable(target_id)
@@ -615,6 +673,17 @@ class HeartbeatProtocol:
                     self.tracer.emit(
                         now, "hb.failure_detected", node=node_id, suspect=stale_id
                     )
+                # First believer to time out a *genuinely* failed node
+                # defines the protocol's detection instant.  Timeouts of
+                # live-but-silenced nodes (message loss) are just broken
+                # links, not detections.
+                if (
+                    self.on_failure_detected is not None
+                    and stale_id in self._fail_times
+                    and stale_id not in self._detected_failures
+                ):
+                    self._detected_failures.add(stale_id)
+                    self.on_failure_detected(stale_id, now)
 
     def _claim_timed_out_zones(self, now: float) -> None:
         """Execute predetermined take-overs for detected failures.
@@ -629,6 +698,15 @@ class HeartbeatProtocol:
             nid for nid, t in self._fail_times.items() if now - t >= timeout
         )
         for dead_id in due:
+            # Fallback detection: a crash nobody's table timed out (e.g.
+            # every believer died first) is noticed at claim time at the
+            # latest, so the recovery layer never waits forever.
+            if (
+                self.on_failure_detected is not None
+                and dead_id not in self._detected_failures
+            ):
+                self.on_failure_detected(dead_id, now)
+            self._detected_failures.discard(dead_id)
             dead_table = self.nodes[dead_id].table.snapshot()
             transfers = self.overlay.claim_zones(dead_id)
             self.events["claims"] += 1

@@ -164,6 +164,16 @@ class ResourceSpace:
         # Zones are half-open; keep coordinates strictly inside [0, 1).
         return min(x, 1.0 - 1e-9)
 
+    def clamp_point(self, point: Sequence[float]) -> Tuple[float, ...]:
+        """Pull an arbitrary unit-cube point into the space's valid interior.
+
+        Zones are half-open (``lo <= x < hi``), so a coordinate of exactly
+        1.0 belongs to no zone.  Probes sampled over the full unit cube go
+        through here rather than pre-shrinking the sample range — the
+        outermost sliver of every dimension must stay reachable.
+        """
+        return tuple(self._clamp(float(x)) for x in point)
+
     def labels(self) -> Tuple[str, ...]:
         return tuple(d.label() for d in self.dimensions)
 

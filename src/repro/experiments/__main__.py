@@ -8,6 +8,7 @@ the recorded paper-vs-measured comparison):
     python -m repro.experiments fig7          # broken links under churn
     python -m repro.experiments fig8          # maintenance cost scaling
     python -m repro.experiments ablations     # design-choice ablations
+    python -m repro.experiments recovery      # detection/resubmission latency
     python -m repro.experiments report        # refresh EXPERIMENTS.md tables
     python -m repro.experiments all --fast    # everything, scaled down
 """
@@ -17,7 +18,7 @@ from __future__ import annotations
 import sys
 from typing import List, Sequence
 
-from . import ablations, fig5, fig6, fig7, fig8, report
+from . import ablations, fig5, fig6, fig7, fig8, recovery, report
 
 _TARGETS = {
     "fig5": fig5.main,
@@ -25,6 +26,7 @@ _TARGETS = {
     "fig7": fig7.main,
     "fig8": fig8.main,
     "ablations": ablations.main,
+    "recovery": recovery.main,
     "report": report.main,
 }
 

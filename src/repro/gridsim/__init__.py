@@ -2,8 +2,16 @@
 
 from .churn import ChurnSimulation
 from .config import ChurnConfig, MatchmakingConfig
+from .faults import CrashBurst, FaultInjector, FaultPlan
 from .faulty import FaultyGridConfig, FaultyGridResult, FaultyGridSimulation
+from .invariants import (
+    InvariantViolation,
+    check_churn_invariants,
+    check_faulty_invariants,
+    check_matchmaking_accounting,
+)
 from .metrics import cdf_at, empirical_cdf, jains_fairness, wait_time_table
+from .recovery import PendingRecovery, RecoveryTracker, RetryPolicy
 from .results import ChurnResult, MatchmakingResult
 from .simulation import GridSimulation, build_grid
 
@@ -11,9 +19,19 @@ __all__ = [
     "ChurnSimulation",
     "ChurnConfig",
     "MatchmakingConfig",
+    "CrashBurst",
+    "FaultInjector",
+    "FaultPlan",
     "FaultyGridConfig",
     "FaultyGridResult",
     "FaultyGridSimulation",
+    "InvariantViolation",
+    "check_churn_invariants",
+    "check_faulty_invariants",
+    "check_matchmaking_accounting",
+    "PendingRecovery",
+    "RecoveryTracker",
+    "RetryPolicy",
     "cdf_at",
     "empirical_cdf",
     "jains_fairness",

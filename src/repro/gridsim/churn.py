@@ -60,6 +60,10 @@ class ChurnSimulation:
             tracer=tracer,
             profiler=profiler,
         )
+        if config.message_loss > 0.0:
+            self.protocol.set_message_loss(
+                config.message_loss, self.rngs.stream("hb-loss")
+            )
         self.metrics = MetricsRegistry()
         proto_scope = self.metrics.scope("protocol")
         proto_scope.register("broken_links", self.protocol.broken_links)
@@ -156,10 +160,19 @@ class ChurnSimulation:
         delivered = 0
         for _ in range(samples):
             start = int(alive[int(rng.integers(len(alive)))])
-            point = tuple(rng.random(self.space.dims) * 0.998)
+            # Sample the full unit cube, then clamp into the half-open
+            # valid interior — scaling the sample range (as this once did)
+            # leaves the outermost sliver of every dimension unprobed.
+            point = self.space.clamp_point(rng.random(self.space.dims))
             if route_on_beliefs(self.protocol, start, point).delivered:
                 delivered += 1
         return delivered / samples
+
+    def check_invariants(self) -> None:
+        """Audit overlay/protocol/ledger consistency (raises on violation)."""
+        from .invariants import check_churn_invariants
+
+        check_churn_invariants(self)
 
     # -- run ----------------------------------------------------------------------------
     def run(self) -> ChurnResult:

@@ -66,6 +66,9 @@ class ChurnConfig:
     #: adaptive's broken-link detector: the real local zone-coverage check
     #: ("coverage") or the idealised ground-truth comparison ("oracle")
     detection: str = "coverage"
+    #: probability that any single heartbeat delivery is lost in flight
+    #: (fault injection; 0 keeps the loss-free deterministic path)
+    message_loss: float = 0.0
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 2:
@@ -76,6 +79,8 @@ class ChurnConfig:
             raise ValueError("periods must be positive")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
 
     @property
     def dims(self) -> int:

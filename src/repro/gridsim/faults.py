@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the faulty-grid simulation.
+
+The background churn processes model steady-state attrition (exponential
+gaps).  This module adds *scripted* adversity on top:
+
+* :class:`CrashBurst` — ``count`` nodes crash at simulated time ``at``;
+  with ``correlated=True`` the victims are a zone owner plus its
+  ground-truth CAN neighbors (a rack/subnet loss), the worst case for the
+  split-tree take-over path because claimants and their stored tables die
+  together.
+* :class:`FaultPlan` — an immutable schedule of bursts plus a heartbeat
+  message-loss probability (each heartbeat delivery is independently
+  dropped, degrading every scheme's freshness evidence — the knob that
+  makes detection latency *differ* across vanilla/compact/adaptive).
+* :class:`FaultInjector` — wires a plan into a running
+  :class:`~repro.gridsim.faulty.FaultyGridSimulation`: bursts become
+  kernel callbacks; message loss is installed on the heartbeat protocol.
+
+All victim choices draw from the simulation's seeded ``fault-bursts``
+stream, so a plan replays byte-identically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["CrashBurst", "FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class CrashBurst:
+    """``count`` simultaneous crashes at time ``at``."""
+
+    at: float
+    count: int = 1
+    #: cluster the victims: one seed node plus its overlay neighbors
+    correlated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("burst time must be non-negative")
+        if self.count < 1:
+            raise ValueError("burst must crash at least one node")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A scripted fault schedule layered onto the background churn."""
+
+    bursts: Tuple[CrashBurst, ...] = ()
+    #: probability that any single heartbeat delivery is lost in flight
+    message_loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.message_loss < 1.0:
+            raise ValueError("message_loss must be in [0, 1)")
+        object.__setattr__(self, "bursts", tuple(self.bursts))
+
+    @property
+    def empty(self) -> bool:
+        return not self.bursts and self.message_loss == 0.0
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a FaultyGridSimulation."""
+
+    def __init__(self, sim, plan: FaultPlan):
+        self.sim = sim
+        self.plan = plan
+        self.bursts_fired = 0
+        self.crashes_injected = 0
+
+    def install(self) -> None:
+        """Schedule the plan; call once before the simulation runs."""
+        sim = self.sim
+        if self.plan.message_loss > 0.0 and sim.protocol is not None:
+            sim.protocol.set_message_loss(
+                self.plan.message_loss, sim.rngs.stream("hb-loss")
+            )
+        for burst in self.plan.bursts:
+            sim.env.schedule_callback(
+                burst.at - sim.env.now, lambda b=burst: self._fire(b)
+            )
+
+    def _fire(self, burst: CrashBurst) -> None:
+        sim = self.sim
+        victims = self._pick_victims(burst, sim.rngs.stream("fault-bursts"))
+        for victim_id in victims:
+            sim._fail_node(victim_id)
+        self.bursts_fired += 1
+        self.crashes_injected += len(victims)
+        if sim.tracer is not None:
+            sim.tracer.emit(
+                sim.env.now,
+                "fault.burst",
+                count=len(victims),
+                correlated=burst.correlated,
+                victims=victims,
+            )
+
+    def _pick_victims(
+        self, burst: CrashBurst, rng: np.random.Generator
+    ) -> List[int]:
+        """Victims for one burst, honouring the population floor."""
+        sim = self.sim
+        alive = sorted(sim.overlay.alive_ids())
+        floor = int(
+            sim.config.preset.nodes * sim.fault_config.min_population_fraction
+        )
+        headroom = len(alive) - floor
+        count = min(burst.count, max(headroom, 0))
+        if count <= 0:
+            return []
+        if not burst.correlated:
+            picks = rng.choice(len(alive), size=count, replace=False)
+            return [int(alive[i]) for i in sorted(picks)]
+        # Correlated: a seed node and its ground-truth neighborhood go down
+        # together.  Neighbors are sorted for determinism; if the cluster is
+        # smaller than the requested count the burst is clipped to it.
+        seed = int(alive[int(rng.integers(len(alive)))])
+        alive_set = set(alive)
+        cluster = [seed] + sorted(
+            nid for nid in sim.overlay.neighbors(seed) if nid in alive_set
+        )
+        return cluster[:count]

@@ -2,35 +2,51 @@
 
 The paper evaluates load balancing (Figures 5/6) on a stable population and
 failure resilience (Figures 7/8) with no workload.  This module composes the
-two — the natural next experiment for the system, and the regime a real
-desktop grid lives in:
+two — the regime a real desktop grid lives in:
 
 * nodes crash at a configurable rate; their running and queued jobs are
-  lost, detected after a delay (the failure timeout), and resubmitted
-  through the matchmaker;
+  lost, *detected*, and resubmitted through the matchmaker under a
+  :class:`~repro.gridsim.recovery.RetryPolicy` (exponential backoff with
+  jitter, a per-job attempt budget, and a degraded expanding-ring search
+  while the aggregates are stale);
 * fresh nodes join, extending the CAN and the eligible population;
 * the aggregation engine tracks the changing topology.
 
-Zone hand-off is taken from the authoritative overlay (the maintenance
-protocol's job — measured separately in Figure 7); what this simulation adds
-is the *scheduling* consequence of churn: lost work, resubmission latency,
-and matchmaking quality over a shifting population.
+Failure detection comes in two modes.  The default, ``"protocol"``, runs a
+real :class:`~repro.can.heartbeat.HeartbeatProtocol` alongside the
+matchmaker: a crash is noticed when believers' heartbeat timeouts fire
+(per-scheme — vanilla/compact/adaptive differ in how beliefs are
+maintained), vacated zones recover through the split-tree take-over path,
+and resubmission is triggered by the protocol's detection events.  The
+legacy ``"fixed"`` mode models detection as a constant delay with
+immediate zone hand-off — useful as a controlled baseline, and what this
+simulation did before the protocol integration.
+
+Scripted adversity (crash bursts, correlated zone failures, heartbeat
+message loss) is layered on via :class:`~repro.gridsim.faults.FaultPlan`,
+and :func:`~repro.gridsim.invariants.check_faulty_invariants` can audit
+the run every few heartbeat rounds.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..can.heartbeat import HeartbeatProtocol, HeartbeatScheme, ProtocolConfig
 from ..can.overlay import OverlayError
 from ..model.job import Job
 from ..model.node import GridNode
+from ..sched.base import expanding_ring_search, fastest_dominant_clock
 from ..workload.jobs import JobDistribution
 from ..workload.nodes import NodeDistribution, generate_node_specs
 from .config import MatchmakingConfig
+from .faults import FaultInjector, FaultPlan
+from .invariants import check_faulty_invariants, check_matchmaking_accounting
+from .recovery import RecoveryTracker, RetryPolicy
 from .results import MatchmakingResult
 from .simulation import GridSimulation
 
@@ -47,31 +63,54 @@ class FaultyGridConfig:
     #: mean time between node joins (seconds); equal rates keep the
     #: population in dynamic equilibrium, as in the paper's Section V-B
     mean_time_between_joins: float = 300.0
-    #: how long until a failure is noticed and its jobs resubmitted
+    #: "protocol": failures are detected by a live HeartbeatProtocol's
+    #: timeouts and zones recover via take-over; "fixed": the legacy
+    #: constant-delay detection model with immediate zone hand-off
+    detection_mode: str = "protocol"
+    #: fixed mode only: how long until a failure is noticed
     detection_delay: float = 150.0
-    #: placement retry backoff when no capable node is currently alive
-    retry_delay: float = 300.0
-    max_placement_attempts: int = 5
+    #: protocol mode: which heartbeat scheme maintains beliefs
+    heartbeat_scheme: HeartbeatScheme = HeartbeatScheme.VANILLA
+    #: protocol mode: silent periods before a neighbor is declared failed
+    failure_timeout_periods: float = 2.5
+    #: resubmission backoff/budget policy
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: never let churn shrink the grid below this fraction of the start size
     min_population_fraction: float = 0.5
+    #: scripted crash bursts and heartbeat message loss
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: audit the simulation every N heartbeat rounds and once after the
+    #: run (0 disables; fixed mode checks only at the end)
+    invariant_check_every: int = 0
 
     def __post_init__(self) -> None:
         if min(
             self.mean_time_between_failures,
             self.mean_time_between_joins,
             self.detection_delay,
-            self.retry_delay,
         ) <= 0:
             raise ValueError("all churn timings must be positive")
+        if self.detection_mode not in ("protocol", "fixed"):
+            raise ValueError(f"unknown detection_mode {self.detection_mode!r}")
         if not 0 < self.min_population_fraction <= 1:
             raise ValueError("min_population_fraction must be in (0, 1]")
-        if self.max_placement_attempts < 1:
-            raise ValueError("need at least one placement attempt")
+        if self.invariant_check_every < 0:
+            raise ValueError("invariant_check_every must be non-negative")
+        # failure_timeout_periods is validated by ProtocolConfig; construct
+        # one eagerly so a bad value fails at config time, not mid-run
+        if self.detection_mode == "protocol":
+            ProtocolConfig(
+                scheme=self.heartbeat_scheme,
+                failure_timeout_periods=self.failure_timeout_periods,
+            )
+
+    def with_scheme(self, scheme: HeartbeatScheme) -> "FaultyGridConfig":
+        return replace(self, heartbeat_scheme=scheme)
 
 
 @dataclass
 class FaultyGridResult:
-    """A matchmaking result plus the churn ledger."""
+    """A matchmaking result plus the churn and recovery ledgers."""
 
     base: MatchmakingResult
     failures: int
@@ -80,6 +119,15 @@ class FaultyGridResult:
     jobs_resubmitted: int
     jobs_abandoned: int  # exceeded the retry budget
     final_population: int
+    #: crash -> first-detection latency, one sample per detected crash
+    #: (constant in fixed mode; emergent from timeouts in protocol mode)
+    detection_latencies: np.ndarray = field(
+        default_factory=lambda: np.empty(0)
+    )
+    #: crash -> successful-resubmission latency, one sample per recovered job
+    resubmission_latencies: np.ndarray = field(
+        default_factory=lambda: np.empty(0)
+    )
 
     def summary(self) -> Dict[str, float]:
         s = self.base.summary()
@@ -90,11 +138,18 @@ class FaultyGridResult:
             jobs_resubmitted=float(self.jobs_resubmitted),
             jobs_abandoned=float(self.jobs_abandoned),
         )
+        d, r = self.detection_latencies, self.resubmission_latencies
+        if d.size:
+            s["detection_latency_mean"] = float(d.mean())
+            s["detection_latency_p95"] = float(np.percentile(d, 95))
+        if r.size:
+            s["resubmission_latency_mean"] = float(r.mean())
+            s["resubmission_latency_p95"] = float(np.percentile(r, 95))
         return s
 
 
 class FaultyGridSimulation(GridSimulation):
-    """GridSimulation plus failures, joins, and job resubmission."""
+    """GridSimulation plus failures, joins, detection, and resubmission."""
 
     def __init__(
         self,
@@ -102,8 +157,15 @@ class FaultyGridSimulation(GridSimulation):
         node_dist: Optional[NodeDistribution] = None,
         job_dist: Optional[JobDistribution] = None,
         tracer=None,
+        profiler=None,
     ):
-        super().__init__(config.matchmaking, node_dist, job_dist, tracer=tracer)
+        super().__init__(
+            config.matchmaking,
+            node_dist,
+            job_dist,
+            tracer=tracer,
+            profiler=profiler,
+        )
         self.fault_config = config
         self._node_dist = node_dist or NodeDistribution()
         self._next_node_id = itertools.count(
@@ -114,8 +176,29 @@ class FaultyGridSimulation(GridSimulation):
         self.jobs_lost = 0
         self.jobs_resubmitted = 0
         self.jobs_abandoned = 0
-        self._attempts: Dict[int, int] = {}
+        self.tracker = RecoveryTracker()
+        self._retry_rng = self.rngs.stream("retry")
         self._churn_counter = self.metrics.scope("grid").counter("churn")
+        self._recovery_counter = self.metrics.scope("recovery").counter(
+            "events"
+        )
+        self.protocol: Optional[HeartbeatProtocol] = None
+        if config.detection_mode == "protocol":
+            self.protocol = HeartbeatProtocol(
+                self.overlay,
+                ProtocolConfig(
+                    scheme=config.heartbeat_scheme,
+                    period=config.matchmaking.preset.heartbeat_period,
+                    failure_timeout_periods=config.failure_timeout_periods,
+                ),
+                tracer=tracer,
+                profiler=profiler,
+            )
+            # the grid bootstraps its CAN outside the protocol (no join
+            # message accounting wanted); adopt it in converged state
+            self.protocol.adopt_overlay(0.0)
+            self.protocol.on_failure_detected = self._on_node_detected
+        self._injector = FaultInjector(self, config.faults)
 
     # ------------------------------------------------------------------ churn --
     def _churn_processes(self):
@@ -150,31 +233,61 @@ class FaultyGridSimulation(GridSimulation):
 
         return failures(), joins()
 
+    def _heartbeat_process(self):
+        """Protocol mode: tick heartbeat rounds next to the aggregation."""
+        period = self.config.preset.heartbeat_period
+        every = self.fault_config.invariant_check_every
+        rounds = 0
+        while self._work_remaining():
+            yield self.env.timeout(period)
+            self.protocol.run_round(self.env.now)
+            rounds += 1
+            if every and rounds % every == 0:
+                check_faulty_invariants(self)
+
     def _fail_random_node(self, rng: np.random.Generator) -> None:
         cfg = self.fault_config
         alive = [nid for nid in self.overlay.alive_ids()]
         floor = int(self.config.preset.nodes * cfg.min_population_fraction)
         if len(alive) <= floor:
             return
-        victim_id = int(alive[int(rng.integers(len(alive)))])
-        victim = self.grid_nodes[victim_id]
+        self._fail_node(int(alive[int(rng.integers(len(alive)))]))
+
+    def _fail_node(self, victim_id: int) -> None:
+        """Crash one node: jobs are lost, detection is set in motion."""
+        now = self.env.now
+        victim = self.grid_nodes.pop(victim_id)
         lost = victim.fail()
-        self.overlay.fail(victim_id)
-        self.overlay.claim_zones(victim_id)
-        del self.grid_nodes[victim_id]
         self.failures += 1
         self.jobs_lost += len(lost)
         self._churn_counter.add("failures")
+        self.tracker.node_crashed(victim_id, now)
+        for job in lost:
+            job.enqueue_time = None
+            job.start_time = None
+            job.finish_time = None
+            job.run_node_id = None
+            self.tracker.job_lost(job, victim_id, now)
         if self.tracer is not None:
             self.tracer.emit(
-                self.env.now, "grid.crash", node=victim_id, jobs_lost=len(lost)
+                now, "grid.crash", node=victim_id, jobs_lost=len(lost)
             )
             for job in lost:
                 self.tracer.emit(
-                    self.env.now, "grid.job_lost", job=job.job_id, node=victim_id
+                    now, "grid.job_lost", job=job.job_id, node=victim_id
                 )
-        for job in lost:
-            self._schedule_resubmission(job)
+        if self.protocol is not None:
+            # zones linger as ghosts until believers time the victim out
+            # and the take-over path claims them; detection arrives via
+            # on_failure_detected
+            self.protocol.fail(victim_id, now)
+        else:
+            self.overlay.fail(victim_id)
+            self.overlay.claim_zones(victim_id)
+            self.env.schedule_callback(
+                self.fault_config.detection_delay,
+                lambda v=victim_id: self._on_node_detected(v, self.env.now),
+            )
 
     def _join_new_node(self, rng: np.random.Generator) -> None:
         spec = generate_node_specs(
@@ -185,10 +298,25 @@ class FaultyGridSimulation(GridSimulation):
             first_id=next(self._next_node_id),
         )[0]
         coord = self.space.node_coordinate(spec, float(rng.random()))
-        try:
-            self.overlay.add_node(spec.node_id, coord)
-        except OverlayError:
-            return  # coordinate collision or zone in limbo; skip this event
+        if self.protocol is not None:
+            try:
+                leaf = self.overlay.locate_leaf(coord)
+            except OverlayError:
+                return
+            if not self.overlay.is_alive(leaf.owner):
+                return  # target zone in limbo awaiting take-over; skip
+            if not self.protocol.join(spec.node_id, coord, now=self.env.now):
+                # The only remaining failure is an unsplittable zone; the
+                # protocol queued a retry, but grid-level joins are
+                # Poisson-plentiful — withdraw instead of tracking a
+                # node the grid layer never registered.
+                self.protocol._pending_joins.pop()
+                return
+        else:
+            try:
+                self.overlay.add_node(spec.node_id, coord)
+            except OverlayError:
+                return  # coordinate collision or zone in limbo; skip
         self.grid_nodes[spec.node_id] = GridNode(
             spec, self.env, contention=self.config.contention
         )
@@ -198,22 +326,30 @@ class FaultyGridSimulation(GridSimulation):
             self.tracer.emit(self.env.now, "grid.join", node=spec.node_id)
 
     # ------------------------------------------------------------------ jobs --
-    def _schedule_resubmission(self, job: Job) -> None:
-        cfg = self.fault_config
-        job.enqueue_time = None
-        job.start_time = None
-        job.finish_time = None
-        job.run_node_id = None
-        self.env.schedule_callback(
-            cfg.detection_delay, lambda j=job: self._resubmit(j)
-        )
+    def _on_node_detected(self, node_id: int, now: float) -> None:
+        """A crash was noticed; resubmit the jobs that died with it."""
+        latency, released = self.tracker.node_detected(node_id, now)
+        if latency is None:
+            return  # already detected through another path
+        self._recovery_counter.add("detections")
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "recovery.detected",
+                node=node_id,
+                latency=latency,
+                jobs=len(released),
+            )
+        for job in released:
+            self._resubmit(job)
 
     def _resubmit(self, job: Job) -> None:
-        cfg = self.fault_config
-        attempts = self._attempts.get(job.job_id, 0) + 1
-        self._attempts[job.job_id] = attempts
-        if attempts > cfg.max_placement_attempts:
+        policy = self.fault_config.retry
+        attempts = self.tracker.begin_attempt(job.job_id)
+        if policy.exhausted(attempts):
+            self.tracker.job_abandoned(job.job_id)
             self.jobs_abandoned += 1
+            self.abandoned_ids.add(job.job_id)
             self._churn_counter.add("jobs_abandoned")
             if self.tracer is not None:
                 self.tracer.emit(
@@ -225,11 +361,13 @@ class FaultyGridSimulation(GridSimulation):
             return
         node = self.matchmaker.place(job)
         if node is None:
-            self.env.schedule_callback(
-                cfg.retry_delay, lambda j=job: self._resubmit(j)
-            )
+            node = self._degraded_search(job)
+        if node is None:
+            delay = policy.delay(attempts, self._retry_rng)
+            self.env.schedule_callback(delay, lambda j=job: self._resubmit(j))
             return
         self.jobs_resubmitted += 1
+        self.tracker.job_resubmitted(job.job_id, self.env.now)
         self._churn_counter.add("jobs_resubmitted")
         if self.tracer is not None:
             self.tracer.emit(
@@ -237,22 +375,63 @@ class FaultyGridSimulation(GridSimulation):
             )
         node.submit(job)
 
+    def _degraded_search(self, job: Job) -> Optional[GridNode]:
+        """Expanding-ring rescue when a placement fails on stale aggregates.
+
+        Right after a crash the matchmaker's directional summaries still
+        describe the pre-crash topology (and are reset on the next
+        aggregation step), so "no candidate found" is weak evidence.  A
+        bounded ring search over the ground-truth overlay answers the real
+        question — does a live capable node exist near the job's
+        coordinate — at the cost the paper already budgets for rare
+        fallback sweeps.
+        """
+        policy = self.fault_config.retry
+        if not policy.ring_fallback or self.config.scheme == "central":
+            return None
+        if not self.aggregation.is_stale():
+            return None
+        coord = self.space.job_coordinate(job, float(self._retry_rng.random()))
+        origin = self.overlay.locate_owner(coord)
+        candidates = expanding_ring_search(
+            self.overlay, self.grid_nodes, origin, job, policy.ring_budget
+        )
+        if not candidates:
+            return None
+        self._recovery_counter.add("ring_fallbacks")
+        chosen = fastest_dominant_clock(candidates, job)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now,
+                "recovery.fallback",
+                job=job.job_id,
+                node=chosen.node_id,
+                candidates=len(candidates),
+            )
+        return chosen
+
     def _work_remaining(self) -> bool:
         if super()._work_remaining():
             return True
-        # resubmissions still in flight?
-        return any(
-            j.run_node_id is None and self._attempts.get(j.job_id, 0) > 0
-            and self._attempts[j.job_id] <= self.fault_config.max_placement_attempts
-            for j in self.jobs
-        )
+        # Recoveries still in flight — including jobs whose crash has not
+        # been *detected* yet (they have no attempts on record; missing
+        # them let the aggregation/churn processes stop early and froze
+        # the grid under the late resubmissions).
+        return self.tracker.has_pending()
 
     # ------------------------------------------------------------------ run --
     def run(self) -> FaultyGridResult:  # type: ignore[override]
+        cfg = self.fault_config
+        self._injector.install()
+        if self.protocol is not None:
+            self.env.process(self._heartbeat_process(), name="heartbeats")
         fail_proc, join_proc = self._churn_processes()
         self.env.process(fail_proc, name="failures")
         self.env.process(join_proc, name="joins")
         base = super().run()
+        if cfg.invariant_check_every:
+            check_faulty_invariants(self, final=True)
+            check_matchmaking_accounting(base)
         return FaultyGridResult(
             base=base,
             failures=self.failures,
@@ -261,4 +440,8 @@ class FaultyGridSimulation(GridSimulation):
             jobs_resubmitted=self.jobs_resubmitted,
             jobs_abandoned=self.jobs_abandoned,
             final_population=len(self.overlay.alive_ids()),
+            detection_latencies=np.asarray(self.tracker.detection_latencies),
+            resubmission_latencies=np.asarray(
+                self.tracker.resubmission_latencies
+            ),
         )

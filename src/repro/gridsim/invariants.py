@@ -1,0 +1,208 @@
+"""Cross-layer invariant checks for the churn simulations.
+
+A faulty-grid run mutates four coupled structures — the ground-truth
+overlay, the believed protocol state, the grid-node population, and the
+per-job lifecycle — and a bug in any hand-off between them tends to show
+up as a *silent* accounting leak rather than an exception.  These checkers
+make the leaks loud.  They are pure observers (no mutation), cheap enough
+to run every few heartbeat rounds, and raise :class:`InvariantViolation`
+(an ``AssertionError`` subclass) with a description of the broken
+invariant.
+
+Checked for a :class:`~repro.gridsim.faulty.FaultyGridSimulation`:
+
+* the zone cover is a partition of the space with symmetric adjacency
+  (delegated to :meth:`CanOverlay.check_invariants`);
+* the grid-node population mirrors the overlay's alive set, and the
+  population ledger balances (initial + joins - failures);
+* every non-finished job is exactly one of: not yet submitted, queued or
+  running on a live node, awaiting detection / between retries (in the
+  recovery tracker), abandoned, or unplaced-at-arrival;
+* the recovery ledger balances:
+  ``jobs_lost == jobs_resubmitted + jobs_abandoned + pending``.
+
+For a finished run, :func:`check_matchmaking_accounting` additionally
+asserts the result identity
+``placed + unplaced + lost + abandoned == submitted``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = [
+    "InvariantViolation",
+    "check_faulty_invariants",
+    "check_churn_invariants",
+    "check_matchmaking_accounting",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A simulation invariant does not hold."""
+
+
+def _fail(message: str) -> None:
+    raise InvariantViolation(message)
+
+
+def _job_on_node(node, job) -> bool:
+    """Is ``job`` currently queued or running on ``node``?"""
+    for ce in node.ces.values():
+        if job in ce.queue or job in ce.running:
+            return True
+    return False
+
+
+def check_matchmaking_accounting(result) -> None:
+    """placed + unplaced + lost + abandoned == submitted."""
+    placed = int(result.wait_times.size)
+    total = (
+        placed
+        + result.unplaced_jobs
+        + result.lost_jobs
+        + result.abandoned_jobs
+    )
+    if total != result.jobs_submitted:
+        _fail(
+            "job accounting leak: "
+            f"placed={placed} + unplaced={result.unplaced_jobs} + "
+            f"lost={result.lost_jobs} + abandoned={result.abandoned_jobs} "
+            f"= {total} != submitted={result.jobs_submitted}"
+        )
+
+
+def _check_overlay(overlay) -> None:
+    try:
+        overlay.check_invariants()
+    except AssertionError:
+        raise
+    except Exception as exc:  # OverlayError and friends
+        _fail(f"overlay invariants violated: {exc}")
+
+
+def check_faulty_invariants(sim, final: bool = False) -> None:
+    """All invariants of a (possibly mid-run) FaultyGridSimulation."""
+    _check_overlay(sim.overlay)
+
+    alive = set(sim.overlay.alive_ids())
+    grid_ids = set(sim.grid_nodes)
+    if alive != grid_ids:
+        _fail(
+            "grid population out of sync with overlay: "
+            f"overlay-only={sorted(alive - grid_ids)[:5]} "
+            f"grid-only={sorted(grid_ids - alive)[:5]}"
+        )
+
+    # population ledger: members = initial + joins - claimed dead nodes
+    initial = sim.config.preset.nodes
+    if sim.protocol is not None:
+        ev = sim.protocol.events
+        expected_members = initial + ev["joins"] - ev["leaves"] - ev["claims"]
+        expected_alive = expected_members - (ev["failures"] - ev["claims"])
+    else:
+        expected_members = expected_alive = initial + sim.joins - sim.failures
+    if len(sim.overlay.members) != expected_members:
+        _fail(
+            f"membership ledger leak: {len(sim.overlay.members)} members, "
+            f"expected {expected_members}"
+        )
+    if len(alive) != expected_alive:
+        _fail(
+            f"population ledger leak: {len(alive)} alive, "
+            f"expected {expected_alive}"
+        )
+
+    # recovery ledger
+    tracker = sim.tracker
+    if not tracker.balances():
+        _fail(
+            "recovery ledger leak: "
+            f"lost={tracker.losses} != resubmitted={tracker.resubmissions} "
+            f"+ abandoned={tracker.abandonments} + pending={len(tracker.pending)}"
+        )
+    if (
+        sim.jobs_lost != tracker.losses
+        or sim.jobs_resubmitted != tracker.resubmissions
+        or sim.jobs_abandoned != tracker.abandonments
+    ):
+        _fail(
+            "simulation counters disagree with the recovery tracker: "
+            f"lost {sim.jobs_lost}/{tracker.losses}, "
+            f"resubmitted {sim.jobs_resubmitted}/{tracker.resubmissions}, "
+            f"abandoned {sim.jobs_abandoned}/{tracker.abandonments}"
+        )
+
+    _check_job_states(sim, final)
+
+    if final and tracker.has_pending():
+        _fail(
+            f"{len(tracker.pending)} jobs still pending recovery "
+            "after the run drained"
+        )
+
+
+def _check_job_states(sim, final: bool) -> None:
+    """Every non-finished job is in exactly one legitimate state."""
+    pending_ids = set(sim.tracker.pending)
+    for index, job in enumerate(sim.jobs):
+        if job.finish_time is not None:
+            continue
+        jid = job.job_id
+        if jid in pending_ids:
+            continue  # awaiting detection or between retries
+        if jid in sim.abandoned_ids or jid in sim.unplaced_ids:
+            continue
+        if job.run_node_id is not None:
+            node = sim.grid_nodes.get(job.run_node_id)
+            if node is None or not node.alive:
+                _fail(
+                    f"job {jid} claims dead/unknown run node "
+                    f"{job.run_node_id} yet is not tracked as lost"
+                )
+            if not _job_on_node(node, job):
+                _fail(
+                    f"job {jid} assigned to node {job.run_node_id} but "
+                    "neither queued nor running there"
+                )
+            continue
+        if index >= sim._submitted:
+            continue  # not yet submitted (mid-run)
+        _fail(
+            f"job {jid} submitted but in no state: not placed, not lost, "
+            "not abandoned, not unplaced"
+        )
+
+
+def check_churn_invariants(sim) -> None:
+    """Invariants of a (possibly mid-run) ChurnSimulation."""
+    _check_overlay(sim.overlay)
+    protocol = sim.protocol
+    ev = protocol.events
+
+    # membership ledger: one bootstrap node, then joins/leaves/claims
+    expected_members = 1 + ev["joins"] - ev["leaves"] - ev["claims"]
+    if len(sim.overlay.members) != expected_members:
+        _fail(
+            f"membership ledger leak: {len(sim.overlay.members)} members, "
+            f"expected {expected_members}"
+        )
+    alive = set(sim.overlay.alive_ids())
+    expected_alive = expected_members - (ev["failures"] - ev["claims"])
+    if len(alive) != expected_alive:
+        _fail(
+            f"population ledger leak: {len(alive)} alive, "
+            f"expected {expected_alive}"
+        )
+
+    # protocol-state mirrors: every member has protocol state and failed-
+    # but-unclaimed nodes are exactly the dead members
+    members = set(sim.overlay.members)
+    if set(protocol.nodes) != members:
+        _fail("protocol node set out of sync with overlay membership")
+    dead = members - alive
+    if set(protocol._fail_times) != dead:
+        _fail(
+            "fail-time ledger out of sync: "
+            f"{sorted(set(protocol._fail_times) ^ dead)[:5]}"
+        )

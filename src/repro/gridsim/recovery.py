@@ -1,0 +1,185 @@
+"""Retry policy and recovery bookkeeping for the faulty grid.
+
+Two concerns live here, both deliberately simulation-agnostic so they can
+be unit-tested without an :class:`~repro.sim.core.Environment`:
+
+* :class:`RetryPolicy` — the knobs of the resubmission loop: exponential
+  backoff with jitter, a per-job attempt budget, and the degradation
+  switch to an expanding-ring search when the aggregation snapshot is
+  stale (a placement "failure" right after a crash usually means the
+  aggregates have not caught up, not that no capable node exists).
+* :class:`RecoveryTracker` — the ledger of in-flight recoveries: which
+  jobs are awaiting failure *detection* (the heartbeat protocol has not
+  yet noticed their node died), which are between placement attempts, and
+  the latency samples the ``recovery`` experiment reports
+  (crash → detection, crash → successful resubmission).
+
+The tracker is the authoritative answer to "is recovery work still
+pending?" — :meth:`FaultyGridSimulation._work_remaining` consults it, so
+the aggregation and churn processes keep running until every lost job is
+either resubmitted or abandoned (previously, jobs whose detection callback
+had not fired yet were invisible and the grid could freeze early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.job import Job
+
+__all__ = ["RetryPolicy", "PendingRecovery", "RecoveryTracker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff/budget knobs for resubmitting jobs lost to node crashes."""
+
+    #: delay before the first retry after a failed placement attempt
+    base_delay: float = 120.0
+    #: multiplier applied per further attempt (1.0 = flat retries)
+    backoff_factor: float = 2.0
+    #: ceiling on any single backoff delay
+    max_delay: float = 1800.0
+    #: +/- fractional jitter applied to each delay (0 = deterministic gaps;
+    #: the draw comes from a seeded stream, so runs stay reproducible)
+    jitter: float = 0.1
+    #: a job is abandoned after this many failed placement attempts
+    max_attempts: int = 5
+    #: when a placement fails while the aggregation snapshot is stale,
+    #: degrade to an expanding-ring search over the ground-truth overlay
+    #: instead of waiting out a full backoff period
+    ring_fallback: bool = True
+    #: node-visit budget of that expanding-ring search
+    ring_budget: int = 128
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ValueError("retry delays must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one placement attempt")
+        if self.ring_budget < 1:
+            raise ValueError("ring_budget must be positive")
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Backoff before retrying after failed attempt number ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        raw = self.base_delay * self.backoff_factor ** (attempt - 1)
+        capped = min(raw, self.max_delay)
+        if self.jitter and rng is not None:
+            capped *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return capped
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts > self.max_attempts
+
+
+@dataclass
+class PendingRecovery:
+    """One lost job's recovery state, from crash until resubmit/abandon."""
+
+    job: Job
+    node_id: int  # node the job was lost with
+    lost_at: float
+    attempts: int = 0
+    detected_at: Optional[float] = None
+
+    @property
+    def awaiting_detection(self) -> bool:
+        return self.detected_at is None
+
+
+class RecoveryTracker:
+    """Ledger of crashes and lost jobs moving through recovery.
+
+    Lifecycle of a lost job::
+
+        node_crashed ─┐
+        job_lost ─────┴─> (awaiting detection) ─ node_detected ─>
+            (retrying) ─ job_resubmitted | job_abandoned
+
+    Counters here are *event* counts (a job lost twice contributes two
+    losses and up to two resubmissions), which is what makes the churn
+    ledger balance exactly::
+
+        jobs_lost == jobs_resubmitted + jobs_abandoned + len(pending)
+    """
+
+    def __init__(self) -> None:
+        #: job_id -> in-flight recovery record
+        self.pending: Dict[int, PendingRecovery] = {}
+        #: node_id -> crash time, removed once the crash is detected
+        self._crash_times: Dict[int, float] = {}
+        #: crash-to-detection latency samples (one per crashed node)
+        self.detection_latencies: List[float] = []
+        #: crash-to-successful-resubmission samples (one per recovered job)
+        self.resubmission_latencies: List[float] = []
+        self.losses = 0
+        self.resubmissions = 0
+        self.abandonments = 0
+
+    # -- crash side -------------------------------------------------------------
+    def node_crashed(self, node_id: int, now: float) -> None:
+        self._crash_times[node_id] = now
+
+    def job_lost(self, job: Job, node_id: int, now: float) -> None:
+        self.losses += 1
+        self.pending[job.job_id] = PendingRecovery(job, node_id, now)
+
+    def node_detected(self, node_id: int, now: float) -> Tuple[Optional[float], List[Job]]:
+        """Record a detection; return (latency, jobs now eligible to retry).
+
+        Unknown nodes (never registered via :meth:`node_crashed`, or already
+        detected) yield ``(None, [])`` — detection is idempotent here even
+        if the caller's dedup slips.
+        """
+        crashed_at = self._crash_times.pop(node_id, None)
+        if crashed_at is None:
+            return None, []
+        latency = now - crashed_at
+        self.detection_latencies.append(latency)
+        released: List[Job] = []
+        for rec in self.pending.values():
+            if rec.node_id == node_id and rec.awaiting_detection:
+                rec.detected_at = now
+                released.append(rec.job)
+        return latency, released
+
+    # -- resubmission side ------------------------------------------------------
+    def begin_attempt(self, job_id: int) -> int:
+        """Count one placement attempt; returns the new attempt number."""
+        rec = self.pending[job_id]
+        rec.attempts += 1
+        return rec.attempts
+
+    def job_resubmitted(self, job_id: int, now: float) -> None:
+        rec = self.pending.pop(job_id)
+        self.resubmissions += 1
+        self.resubmission_latencies.append(now - rec.lost_at)
+
+    def job_abandoned(self, job_id: int) -> None:
+        del self.pending[job_id]
+        self.abandonments += 1
+
+    # -- queries ----------------------------------------------------------------
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def awaiting_detection_count(self) -> int:
+        return sum(1 for r in self.pending.values() if r.awaiting_detection)
+
+    def undetected_crashes(self) -> int:
+        return len(self._crash_times)
+
+    def balances(self) -> bool:
+        """The ledger identity: every loss is resolved or still pending."""
+        return self.losses == (
+            self.resubmissions + self.abandonments + len(self.pending)
+        )

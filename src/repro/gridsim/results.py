@@ -28,6 +28,11 @@ class MatchmakingResult:
     matchmaking: MatchmakingStats
     sim_end_time: float
     jobs_submitted: int
+    #: jobs that exhausted their resubmission budget (0 without churn).
+    #: Every submitted job lands in exactly one bucket:
+    #: ``len(wait_times) + unplaced + lost + abandoned == jobs_submitted``
+    #: (asserted by repro.gridsim.invariants.check_matchmaking_accounting).
+    abandoned_jobs: int = 0
 
     def summary(self) -> Dict[str, float]:
         w = self.wait_times

@@ -118,6 +118,11 @@ class GridSimulation:
         self.matchmaker.attach_profiler(profiler)
         self.unplaced = 0
         self._submitted = 0
+        #: job ids never placed at arrival / abandoned after churn retries —
+        #: kept as ids (not just counts) so the invariant checker can
+        #: classify every job's state exactly
+        self.unplaced_ids: set = set()
+        self.abandoned_ids: set = set()
         self._job_counter = self.metrics.scope("grid").counter("jobs")
 
     # -- wiring ------------------------------------------------------------------
@@ -157,6 +162,7 @@ class GridSimulation:
             node = self.matchmaker.place(job)
             if node is None:
                 self.unplaced += 1
+                self.unplaced_ids.add(job.job_id)
                 self._job_counter.add("unplaced")
             else:
                 node.submit(job)
@@ -185,10 +191,19 @@ class GridSimulation:
         waits: List[float] = []
         turnarounds: List[float] = []
         lost = 0
-        for job in self.jobs:
+        for index, job in enumerate(self.jobs):
             if job.wait_time is not None:
                 waits.append(job.wait_time)
             elif job.run_node_id is not None:
+                lost += 1
+            elif (
+                index < self._submitted  # arrivals process jobs in order
+                and job.job_id not in self.unplaced_ids
+                and job.job_id not in self.abandoned_ids
+            ):
+                # Lost with its timestamps already reset (crashed before
+                # starting, resubmission pending or leaked) — without this
+                # bucket such jobs silently vanished from the accounting.
                 lost += 1
             if job.turnaround is not None:
                 turnarounds.append(job.turnaround)
@@ -205,4 +220,5 @@ class GridSimulation:
             matchmaking=self.matchmaker.stats,
             sim_end_time=self.env.now,
             jobs_submitted=self._submitted,
+            abandoned_jobs=len(self.abandoned_ids),
         )

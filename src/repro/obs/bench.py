@@ -249,6 +249,45 @@ def _micro_broken_links(counts: int, nodes: int, seed: int):
     return fn
 
 
+def _micro_recovery(cycles: int, nodes: int, seed: int):
+    """Full crash -> detection -> take-over cycles on a live protocol.
+
+    Each iteration silently fails one node, then runs heartbeat rounds
+    until some believer's timeout fires the detection callback (the
+    faulty grid's recovery trigger) and the zone is reclaimed.  Measures
+    the whole failure-handling path rather than one sub-operation.
+    """
+    from ..can.heartbeat import HeartbeatScheme
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        proto = _build_protocol(
+            HeartbeatScheme.VANILLA, nodes, seed, profiler=profiler
+        )
+        period = proto.config.period
+        proto.run_round(period)
+        detected: List[int] = []
+        proto.on_failure_detected = lambda nid, t: detected.append(nid)
+        rng = np.random.default_rng(seed)
+        now = period
+        done = 0
+        t0 = CLOCK()
+        with profiler.scope("can.recovery_cycle"):
+            for _ in range(cycles):
+                alive = sorted(proto.overlay.alive_ids())
+                if len(alive) <= 2:
+                    break
+                victim = int(alive[int(rng.integers(len(alive)))])
+                proto.fail(victim, now)
+                target = len(detected) + 1
+                while len(detected) < target:
+                    now += period
+                    proto.run_round(now)
+                done += 1
+        return _micro_metrics(done, CLOCK() - t0)
+
+    return fn
+
+
 def _micro_aggregation(steps: int, nodes: int, seed: int):
     from ..can.aggregation import AggregationEngine
     from ..can.overlay import CanOverlay
@@ -418,6 +457,14 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
             "micro",
             _micro_broken_links(
                 200 if smoke else 1_000, 100 if smoke else 200, seed
+            ),
+        ),
+        (
+            "micro.recovery",
+            "micro",
+            "micro",
+            _micro_recovery(
+                10 if smoke else 30, 100 if smoke else 200, seed
             ),
         ),
     ]

@@ -35,6 +35,8 @@ class EV:
     ``hb.*``    heartbeat-engine observations (beliefs, detection, repair)
     ``mm.*``    matchmaker decisions
     ``grid.*``  grid-level churn consequences (crashes, lost/resubmitted jobs)
+    ``recovery.*``  failure-recovery milestones (detection, degraded search)
+    ``fault.*`` scripted fault injection (crash bursts)
     """
 
     # -- harness lifecycle
@@ -69,6 +71,11 @@ class EV:
     GRID_JOB_LOST = "grid.job_lost"  # job, node
     GRID_JOB_RESUBMIT = "grid.job_resubmit"  # job, attempt
     GRID_JOB_ABANDONED = "grid.job_abandoned"  # job, attempts
+
+    # -- failure recovery (protocol-driven detection & resubmission)
+    RECOVERY_DETECTED = "recovery.detected"  # node, latency, jobs
+    RECOVERY_FALLBACK = "recovery.fallback"  # job, node, candidates
+    FAULT_BURST = "fault.burst"      # count, correlated, victims
 
 
 class TraceEvent:

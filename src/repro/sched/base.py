@@ -16,6 +16,7 @@ __all__ = [
     "MatchmakingStats",
     "fastest_dominant_clock",
     "outward_capable_search",
+    "expanding_ring_search",
 ]
 
 
@@ -150,6 +151,40 @@ def outward_capable_search(
                 if nid not in seen and overlay.is_alive(nid):
                     seen.add(nid)
                     queue.append(nid)
+    return capable
+
+
+def expanding_ring_search(
+    overlay: CanOverlay,
+    grid_nodes: Dict[int, GridNode],
+    origin_id: int,
+    job: Job,
+    budget: int = 128,
+) -> List[GridNode]:
+    """Ring-by-ring flood over *all* zone adjacencies from ``origin_id``.
+
+    The recovery path's degraded-mode search: right after a crash the
+    directional aggregates are stale (the matchmaker may see only emptied
+    corridors) and zones may sit unclaimed, so the monotone
+    :func:`outward_capable_search` can be cut off.  This search expands
+    through every adjacency — dead/ghost zones are crossed but never
+    selected, modelling neighbor-of-neighbor knowledge from stored tables —
+    and collects live capable nodes until ``budget`` zones were visited.
+    The origin may itself be dead (it usually is: it owned the crashed
+    job's coordinate).
+    """
+    seen = {origin_id}
+    queue = deque([origin_id])
+    capable: List[GridNode] = []
+    while queue and len(seen) <= budget:
+        current = queue.popleft()
+        node = grid_nodes.get(current)
+        if node is not None and node.alive and node.capable(job):
+            capable.append(node)
+        for nid in sorted(overlay.neighbors(current)):
+            if nid not in seen:
+                seen.add(nid)
+                queue.append(nid)
     return capable
 
 

@@ -121,3 +121,17 @@ class TestJobCoordinates:
         coord = space.job_coordinate(cpu_job(cores=1), 0.0)
         cores_dim = space.dimension("cpu.cores").index
         assert coord[cores_dim] == 0.0
+
+
+class TestClampPoint:
+    def test_interior_points_pass_through(self):
+        space = ResourceSpace(gpu_slots=0)
+        point = (0.1, 0.5, 0.0, 0.25, 0.999)
+        assert space.clamp_point(point) == point
+
+    def test_boundary_pulled_inside_half_open_zones(self):
+        # zones are half-open [lo, hi): exactly 1.0 belongs to no zone
+        space = ResourceSpace(gpu_slots=0)
+        clamped = space.clamp_point((1.0,) * space.dims)
+        assert all(c < 1.0 for c in clamped)
+        assert all(c >= 1.0 - 1e-8 for c in clamped)

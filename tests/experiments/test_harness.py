@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.can.heartbeat import HeartbeatScheme
-from repro.experiments import ablations, fig5, fig6, fig7, fig8
+from repro.experiments import ablations, fig5, fig6, fig7, fig8, recovery
 from repro.experiments.__main__ import main as cli_main
 from repro.gridsim import ChurnSimulation
 from repro.workload import TINY_LOAD
@@ -89,6 +89,25 @@ class TestAblations:
     def test_unknown_ablation_rejected(self):
         with pytest.raises(ValueError):
             ablations.run(preset=TINY_LOAD, ablations=("nonsense",))
+
+
+class TestRecovery:
+    def test_config_shapes(self):
+        fast = recovery.recovery_config(HeartbeatScheme.VANILLA, fast=True)
+        assert fast.detection_mode == "protocol"
+        assert fast.faults.message_loss == recovery.MESSAGE_LOSS
+        full = recovery.recovery_config(HeartbeatScheme.COMPACT, fast=False)
+        assert full.matchmaking.preset.jobs > fast.matchmaking.preset.jobs
+        assert full.heartbeat_scheme is HeartbeatScheme.COMPACT
+
+    def test_run_and_report(self, tmp_path):
+        results = recovery.run(fast=True)
+        assert set(results) == {s.value for s in HeartbeatScheme}
+        for res in results.values():
+            assert res.detection_latencies.size > 0
+        text = recovery.report(results, str(tmp_path))
+        assert "detection" in text or "detect" in text
+        assert os.path.exists(tmp_path / "recovery_latencies.csv")
 
 
 class TestCli:

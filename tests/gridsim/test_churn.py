@@ -107,3 +107,36 @@ class TestRoutingProbe:
         sim.run()
         with pytest.raises(ValueError):
             sim.routing_success_rate(samples=0)
+
+    def test_probe_is_deterministic_across_seeded_runs(self):
+        rates = []
+        for _ in range(2):
+            sim = ChurnSimulation(quick_config(event_gap_mean=12.0))
+            sim.run()
+            rates.append(sim.routing_success_rate(samples=40))
+        assert rates[0] == rates[1]
+
+
+class TestInvariantsAndLoss:
+    @pytest.mark.parametrize("scheme", list(HeartbeatScheme))
+    def test_invariants_hold_after_seeded_runs(self, scheme):
+        sim = ChurnSimulation(quick_config(scheme))
+        sim.run()
+        sim.check_invariants()
+
+    def test_invariants_hold_under_graceful_churn(self):
+        sim = ChurnSimulation(quick_config(leave_mode="graceful"))
+        sim.run()
+        sim.check_invariants()
+
+    def test_message_loss_degrades_but_stays_consistent(self):
+        sim = ChurnSimulation(quick_config(message_loss=0.3))
+        res = sim.run()
+        sim.check_invariants()
+        assert res.final_population > 10
+
+    def test_message_loss_validation(self):
+        with pytest.raises(ValueError):
+            quick_config(message_loss=1.0)
+        with pytest.raises(ValueError):
+            quick_config(message_loss=-0.1)

@@ -89,3 +89,17 @@ class TestAblationFlags:
     def test_bad_scheme_rejected(self):
         with pytest.raises(ValueError):
             MatchmakingConfig(TINY, scheme="bogus")
+
+
+class TestAccountingIdentity:
+    @pytest.mark.parametrize("scheme", ["can-het", "can-hom", "central"])
+    def test_buckets_partition_submitted_jobs(self, scheme):
+        from repro.gridsim import check_matchmaking_accounting
+
+        res = run(scheme)
+        check_matchmaking_accounting(res)
+        assert res.abandoned_jobs == 0  # nothing crashes in a plain run
+        assert (
+            res.wait_times.size + res.unplaced_jobs + res.lost_jobs
+            == res.jobs_submitted
+        )
