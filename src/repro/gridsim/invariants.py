@@ -28,13 +28,13 @@ asserts the result identity
 
 from __future__ import annotations
 
-from typing import Iterable, List
 
 __all__ = [
     "InvariantViolation",
     "check_faulty_invariants",
     "check_churn_invariants",
     "check_matchmaking_accounting",
+    "check_service_accounting",
 ]
 
 
@@ -70,6 +70,81 @@ def check_matchmaking_accounting(result) -> None:
             f"lost={result.lost_jobs} + abandoned={result.abandoned_jobs} "
             f"= {total} != submitted={result.jobs_submitted}"
         )
+
+
+def check_service_accounting(service, final: bool = False) -> None:
+    """Invariants of a (possibly mid-run) :class:`~repro.service.GridService`.
+
+    The live-service analogue of :func:`check_matchmaking_accounting`,
+    phrased over the persistent ledger instead of a result object:
+
+    * ledger statuses partition the submissions (every job is in exactly
+      one status, so the counts sum to the number of rows);
+    * the recovery tracker's loss ledger balances;
+    * no job has more than one recorded ``RUNNING -> COMPLETED`` edge
+      (the zero-duplicate-execution guarantee across restarts);
+    * every ``MATCHED``/``RUNNING`` job is actually queued or running on
+      a live node;
+    * with ``final=True``: nothing is in flight — terminal states account
+      for every submission.
+    """
+    from ..service.ledger import TERMINAL_STATES, JobStatus
+
+    ledger = service.ledger
+    counts = ledger.counts()
+    records = ledger.records()
+    if sum(counts.values()) != len(records):
+        _fail(
+            f"ledger status counts sum to {sum(counts.values())} "
+            f"but hold {len(records)} jobs"
+        )
+
+    if not service.tracker.balances():
+        t = service.tracker
+        _fail(
+            "recovery ledger leak: "
+            f"lost={t.losses} != resubmitted={t.resubmissions} "
+            f"+ abandoned={t.abandonments} + pending={len(t.pending)}"
+        )
+
+    for record in records:
+        completions = ledger.completions(record.job_id)
+        if completions > 1:
+            _fail(
+                f"job {record.job_id} completed {completions} times "
+                "(duplicate execution)"
+            )
+        if record.status is JobStatus.COMPLETED and completions != 1:
+            _fail(
+                f"job {record.job_id} is COMPLETED with {completions} "
+                "recorded completion transitions"
+            )
+        if record.status in (JobStatus.MATCHED, JobStatus.RUNNING):
+            node = service.grid_nodes.get(record.node_id)
+            if node is None or not node.alive:
+                _fail(
+                    f"job {record.job_id} is {record.status.value} on "
+                    f"dead/unknown node {record.node_id}"
+                )
+            job = service._jobs.get(record.job_id)
+            if job is None or not _job_on_node(node, job):
+                _fail(
+                    f"job {record.job_id} is {record.status.value} on node "
+                    f"{record.node_id} but neither queued nor running there"
+                )
+
+    if final:
+        in_flight = [r for r in records if r.status not in TERMINAL_STATES]
+        if in_flight:
+            _fail(
+                f"{len(in_flight)} jobs still in flight after the service "
+                f"drained: {[r.job_id for r in in_flight[:5]]}"
+            )
+        if service.tracker.has_pending():
+            _fail(
+                f"{len(service.tracker.pending)} jobs still pending "
+                "recovery after the service drained"
+            )
 
 
 def _check_overlay(overlay) -> None:

@@ -33,7 +33,43 @@ from ..workload.nodes import NodeDistribution, generate_node_specs
 from .config import MatchmakingConfig
 from .results import MatchmakingResult
 
-__all__ = ["GridSimulation", "build_grid"]
+__all__ = ["GridSimulation", "build_grid", "build_matchmaker"]
+
+
+def build_matchmaker(
+    config: MatchmakingConfig,
+    overlay: CanOverlay,
+    grid_nodes: Dict[int, GridNode],
+    aggregation: AggregationEngine,
+    rng: np.random.Generator,
+) -> Matchmaker:
+    """Construct the matchmaker ``config.scheme`` names.
+
+    Shared by the batch simulator and the live :mod:`repro.service`
+    gateway — both drive the same scheduler implementations; only the
+    clock differs.
+    """
+    if config.scheme == "central":
+        return CentralMatchmaker(grid_nodes)
+    if config.scheme == "can-het":
+        return CanHetMatchmaker(
+            overlay,
+            grid_nodes,
+            aggregation,
+            rng,
+            stopping_factor=config.stopping_factor,
+            max_hops=config.max_push_hops,
+            use_acceptable_nodes=config.use_acceptable_nodes,
+            use_dominant_ce=config.use_dominant_ce,
+        )
+    return CanHomMatchmaker(
+        overlay,
+        grid_nodes,
+        aggregation,
+        rng,
+        stopping_factor=config.stopping_factor,
+        max_hops=config.max_push_hops,
+    )
 
 
 def build_grid(
@@ -127,28 +163,12 @@ class GridSimulation:
 
     # -- wiring ------------------------------------------------------------------
     def _build_matchmaker(self) -> Matchmaker:
-        cfg = self.config
-        if cfg.scheme == "central":
-            return CentralMatchmaker(self.grid_nodes)
-        rng = self.rngs.stream("matchmaking")
-        if cfg.scheme == "can-het":
-            return CanHetMatchmaker(
-                self.overlay,
-                self.grid_nodes,
-                self.aggregation,
-                rng,
-                stopping_factor=cfg.stopping_factor,
-                max_hops=cfg.max_push_hops,
-                use_acceptable_nodes=cfg.use_acceptable_nodes,
-                use_dominant_ce=cfg.use_dominant_ce,
-            )
-        return CanHomMatchmaker(
+        return build_matchmaker(
+            self.config,
             self.overlay,
             self.grid_nodes,
             self.aggregation,
-            rng,
-            stopping_factor=cfg.stopping_factor,
-            max_hops=cfg.max_push_hops,
+            self.rngs.stream("matchmaking"),
         )
 
     # -- processes ------------------------------------------------------------------

@@ -337,6 +337,52 @@ def _micro_placement(scheme: str, repeats: int, seed: int):
     return fn
 
 
+def _micro_ledger(jobs: int, seed: int):
+    """Full job lifecycles through the sqlite WAL ledger.
+
+    Each iteration is one complete SUBMITTED -> MATCHED -> RUNNING ->
+    COMPLETED trajectory — four durable transactions — against a real
+    on-disk database, so the number tracks what a gateway pays per job
+    for ledger durability.
+    """
+    import tempfile
+
+    from ..service.ledger import JobLedger, JobStatus, SqliteBackend
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        with tempfile.TemporaryDirectory() as tmp:
+            ledger = JobLedger(SqliteBackend(f"{tmp}/bench_ledger.sqlite"))
+            spec = {
+                "job_id": None,
+                "submit_time": 0.0,
+                "base_duration": 60.0,
+                "requirements": {
+                    "cpu": {"cores": 1, "clock": 1.0, "memory": 1.0, "disk": 1.0}
+                },
+            }
+            t0 = CLOCK()
+            with profiler.scope("service.ledger_lifecycle"):
+                for i in range(jobs):
+                    record = ledger.submit(spec, now=float(i))
+                    ledger.transition(
+                        record.job_id,
+                        JobStatus.MATCHED,
+                        now=float(i),
+                        node_id=seed % 97,
+                    )
+                    ledger.transition(
+                        record.job_id, JobStatus.RUNNING, now=float(i)
+                    )
+                    ledger.transition(
+                        record.job_id, JobStatus.COMPLETED, now=float(i) + 1
+                    )
+            wall = CLOCK() - t0
+            ledger.close()
+        return _micro_metrics(jobs, wall)
+
+    return fn
+
+
 def _micro_metrics(iterations: int, wall: float) -> Dict[str, Any]:
     return {
         "iterations": iterations,
@@ -466,6 +512,12 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
             _micro_recovery(
                 10 if smoke else 30, 100 if smoke else 200, seed
             ),
+        ),
+        (
+            "micro.ledger",
+            "micro",
+            "micro",
+            _micro_ledger(100 if smoke else 500, seed),
         ),
     ]
     return rows

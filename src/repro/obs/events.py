@@ -37,6 +37,7 @@ class EV:
     ``grid.*``  grid-level churn consequences (crashes, lost/resubmitted jobs)
     ``recovery.*``  failure-recovery milestones (detection, degraded search)
     ``fault.*`` scripted fault injection (crash bursts)
+    ``service.*``  live-gateway lifecycle and ledger status transitions
     """
 
     # -- harness lifecycle
@@ -76,6 +77,16 @@ class EV:
     RECOVERY_DETECTED = "recovery.detected"  # node, latency, jobs
     RECOVERY_FALLBACK = "recovery.fallback"  # job, node, candidates
     FAULT_BURST = "fault.burst"      # count, correlated, victims
+
+    # -- live service (gateway + persistent ledger)
+    SERVICE_START = "service.start"  # nodes, scheme, recovered
+    SERVICE_STOP = "service.stop"
+    SERVICE_LISTEN = "service.listen"  # host, port
+    SERVICE_SUBMIT = "service.submit"  # job
+    SERVICE_CANCEL = "service.cancel"  # job
+    SERVICE_COMPLETE = "service.complete"  # job, node
+    SERVICE_JOB_STATUS = "service.job_status"  # job, frm, to, node?
+    SERVICE_ORPHAN = "service.orphan"  # job, node, vanished (restart recovery)
 
 
 class TraceEvent:

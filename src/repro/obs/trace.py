@@ -11,10 +11,18 @@ diff the raw bytes.
 :class:`RunRecorder` bundles what every experiment wants: a tracer wired
 to a JSONL writer, plus a manifest that is finalised (event counts,
 wall time, artifact list) and atomically written when the recorder closes.
+
+Both are safe under abrupt shutdown — what an asyncio gateway killed by a
+signal needs: every event is serialised and written in a *single*
+``write`` call (a line is either fully present or absent, never torn),
+``close`` is idempotent, and construction registers an ``atexit`` hook so
+an un-closed writer still flushes its file and an un-closed recorder
+still writes its manifest when the interpreter exits.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 from typing import Any, Dict, IO, Optional
@@ -47,20 +55,29 @@ class JsonlTraceWriter:
         self._fh: Optional[IO[str]] = open(path, "w")
         self._fh.write(TRACE_HEADER + "\n")
         self.lines = 0
+        # a writer abandoned by a crash-path shutdown still flushes
+        atexit.register(self.close)
 
     def __call__(self, event: TraceEvent) -> None:
         if self._fh is None:
             raise ValueError(f"trace writer for {self.path!r} is closed")
+        # one write call per line: an interrupt between writes can drop a
+        # trailing line but never leave a torn (unparseable) one
         self._fh.write(
             json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+            + "\n"
         )
-        self._fh.write("\n")
         self.lines += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+            atexit.unregister(self.close)
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
@@ -118,12 +135,16 @@ class RunRecorder:
         self.tracer: Optional[Tracer] = None
         self.writer: Optional[JsonlTraceWriter] = None
         self.manifest = RunManifest(name=name, seed=seed)
+        self._closed = False
         if enabled:
             self.trace_path = os.path.join(out_dir, f"{name}_trace.jsonl")
             self.manifest_path = os.path.join(out_dir, f"{name}_run.manifest.json")
             self.writer = JsonlTraceWriter(self.trace_path)
             self.tracer = Tracer(EventBus())
             self.tracer.subscribe(self.writer)
+            # killed mid-run (signal unwinding, sys.exit in a handler):
+            # still finalise the manifest so the trace is not orphaned
+            atexit.register(self.close)
         else:
             self.trace_path = None
             self.manifest_path = None
@@ -145,10 +166,16 @@ class RunRecorder:
     ) -> Optional[str]:
         """Flush the trace and atomically write the manifest.
 
-        Returns the manifest path (``None`` when recording is disabled).
+        Idempotent: a second close (e.g. the ``atexit`` safety net after
+        a regular close) is a no-op returning the manifest path again.
+        Returns ``None`` when recording is disabled.
         """
         if not self.enabled:
             return None
+        if self._closed:
+            return self.manifest_path
+        self._closed = True
+        atexit.unregister(self.close)
         if config:
             self.manifest.config.update(config)
         if metrics:
@@ -168,5 +195,4 @@ class RunRecorder:
         return self
 
     def __exit__(self, *exc) -> None:
-        if self.enabled and self.writer is not None and self.writer._fh is not None:
-            self.close()
+        self.close()

@@ -1,0 +1,59 @@
+"""The wall-clock backend of the :class:`~repro.sim.clock.Clock` seam.
+
+:class:`AsyncioClock` maps *model* time onto an asyncio event loop's
+monotonic clock through a **dilation factor**: ``dilation`` model seconds
+pass per wall-clock second.  At ``dilation=1`` the service runs in real
+time; at ``dilation=1000`` a 60-second heartbeat period fires every 60 ms,
+which is what lets the integration tests drive a full workload — heartbeat
+rounds, retry backoffs, job executions — through the *unchanged* protocol
+code in tens of milliseconds.
+
+Only this module (and the rest of :mod:`repro.service`) touches asyncio;
+the protocol modules import the seam, never the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Optional
+
+from ..sim.clock import CallbackHandle, Clock
+
+__all__ = ["AsyncioClock"]
+
+
+class AsyncioClock(Clock):
+    """Model time = ``origin + (loop.time() - t0) * dilation``.
+
+    ``origin`` seeds the model clock, letting a restarted service resume
+    *after* the times already persisted in its ledger instead of rewinding
+    to zero (ledger timestamps are model-time and must stay monotonic
+    across restarts).
+    """
+
+    __slots__ = ("_loop", "dilation", "_t0", "_origin")
+
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        dilation: float = 1.0,
+        origin: float = 0.0,
+    ):
+        if dilation <= 0:
+            raise ValueError(f"dilation must be positive, got {dilation!r}")
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self.dilation = float(dilation)
+        self._t0 = self._loop.time()
+        self._origin = float(origin)
+
+    @property
+    def now(self) -> float:
+        return self._origin + (self._loop.time() - self._t0) * self.dilation
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], Any]
+    ) -> CallbackHandle:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        timer = self._loop.call_later(delay / self.dilation, fn)
+        return CallbackHandle(timer.cancel)

@@ -1,0 +1,297 @@
+"""Asyncio JSON/REST gateway in front of a :class:`GridService`.
+
+Stdlib-only: the server is ``asyncio.start_server`` plus a deliberately
+minimal HTTP/1.1 implementation (request line, headers, Content-Length
+body; every response is ``Connection: close``).  The point of this module
+is not a web framework — it is that the *protocol stack underneath runs
+unchanged*: the gateway owns an :class:`~repro.service.aclock.AsyncioClock`
+and hands it to the same ``GridService``/heartbeat/matchmaker objects the
+DES drives with a :class:`~repro.sim.clock.SimClock`.
+
+Routes::
+
+    POST   /jobs            submit a job spec (workload-trace JSON form)
+    GET    /jobs            list jobs; ?status=running filters
+    GET    /jobs/<id>       one job's ledger record
+    DELETE /jobs/<id>       cancel (409 once running or terminal)
+    GET    /health          population, queue depth, ledger counts
+    GET    /metrics         metrics snapshot (+ request latencies)
+    POST   /nodes/<id>/fail chaos hook: crash one grid node
+
+All handlers run on the event loop thread, so service state needs no
+locking; job execution "runs" as dilated-clock timers on the same loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .core import CancelError, GridService
+from .ledger import JobStatus
+
+__all__ = ["Gateway"]
+
+_STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+_MAX_BODY = 1 << 20  # 1 MiB; job specs are tiny
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Gateway:
+    """Serve one :class:`GridService` over HTTP on the running loop."""
+
+    def __init__(
+        self,
+        service: GridService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics=None,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port  # 0 = ephemeral; real port filled in by start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        if metrics is not None:
+            scope = metrics.scope("service")
+            self._request_counter = scope.counter("requests")
+            self._latency_series = scope.timeseries("request_latency")
+        else:
+            self._request_counter = None
+            self._latency_series = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the grid engine and begin accepting connections."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        tracer = self.service.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.service.clock.now,
+                "service.listen",
+                host=self.host,
+                port=self.port,
+            )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- HTTP plumbing -----------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            try:
+                method, path, query, body = await self._read_request(reader)
+            except _HttpError as exc:
+                self._write_response(
+                    writer, exc.status, {"error": exc.message}
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            try:
+                status, payload = self._route(method, path, query, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except Exception as exc:  # don't let one request kill the loop
+                status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._write_response(writer, status, payload)
+            if self._request_counter is not None:
+                self._request_counter.add(f"{method} {status}")
+            if self._latency_series is not None:
+                self._latency_series.record(
+                    self.service.clock.now, loop.time() - started
+                )
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], Optional[Dict]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {request_line!r}")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length")
+        if content_length > _MAX_BODY:
+            raise _HttpError(400, "request body too large")
+        body: Optional[Dict] = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise _HttpError(400, f"invalid JSON body: {exc}")
+        path, _, raw_query = target.partition("?")
+        query: Dict[str, str] = {}
+        for pair in raw_query.split("&"):
+            if pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        return method.upper(), path, query, body
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        phrase = _STATUS_PHRASES.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+
+    # -- routing -----------------------------------------------------------------
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: Optional[Dict],
+    ) -> Tuple[int, Any]:
+        segments = [s for s in path.split("/") if s]
+        if segments == ["jobs"]:
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return self._list_jobs(query)
+            raise _HttpError(405, f"{method} not allowed on /jobs")
+        if len(segments) == 2 and segments[0] == "jobs":
+            job_id = self._job_id(segments[1])
+            if method == "GET":
+                return self._job_status(job_id)
+            if method == "DELETE":
+                return self._cancel(job_id)
+            raise _HttpError(405, f"{method} not allowed on /jobs/<id>")
+        if segments == ["health"] and method == "GET":
+            return 200, self.service.health()
+        if segments == ["metrics"] and method == "GET":
+            return self._metrics()
+        if (
+            len(segments) == 3
+            and segments[0] == "nodes"
+            and segments[2] == "fail"
+            and method == "POST"
+        ):
+            return self._fail_node(self._job_id(segments[1]))
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _job_id(raw: str) -> int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HttpError(400, f"bad id {raw!r}")
+
+    # -- handlers ----------------------------------------------------------------
+    def _submit(self, body: Optional[Dict]) -> Tuple[int, Any]:
+        if not isinstance(body, dict):
+            raise _HttpError(400, "job spec body required")
+        if "requirements" not in body or "base_duration" not in body:
+            raise _HttpError(
+                400, "job spec needs 'requirements' and 'base_duration'"
+            )
+        try:
+            job_id = self.service.submit(body)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad job spec: {exc}")
+        return 201, {"job_id": job_id}
+
+    def _job_status(self, job_id: int) -> Tuple[int, Any]:
+        try:
+            record = self.service.ledger.record(job_id)
+        except KeyError:
+            raise _HttpError(404, f"job {job_id} not found")
+        return 200, record.as_dict()
+
+    def _list_jobs(self, query: Dict[str, str]) -> Tuple[int, Any]:
+        status: Optional[JobStatus] = None
+        if "status" in query:
+            try:
+                status = JobStatus(query["status"].upper())
+            except ValueError:
+                raise _HttpError(400, f"unknown status {query['status']!r}")
+        records = self.service.ledger.records(status)
+        return 200, {"jobs": [r.as_dict() for r in records]}
+
+    def _cancel(self, job_id: int) -> Tuple[int, Any]:
+        try:
+            self.service.cancel(job_id)
+        except KeyError:
+            raise _HttpError(404, f"job {job_id} not found")
+        except CancelError as exc:
+            raise _HttpError(409, str(exc))
+        return 200, self.service.ledger.record(job_id).as_dict()
+
+    def _metrics(self) -> Tuple[int, Any]:
+        metrics = self.service.metrics
+        counts = self.service.ledger.counts()
+        payload: Dict[str, Any] = {
+            "now": self.service.clock.now,
+            "queue_depth": self.service.queue_depth(),
+            "running": self.service.running_jobs(),
+            "jobs": {status.value: n for status, n in counts.items() if n},
+        }
+        if metrics is not None:
+            payload["monitors"] = metrics.snapshot(now=self.service.clock.now)
+        return 200, payload
+
+    def _fail_node(self, node_id: int) -> Tuple[int, Any]:
+        if node_id not in self.service.grid_nodes:
+            raise _HttpError(404, f"node {node_id} not found or not alive")
+        lost = self.service.fail_node(node_id)
+        return 200, {"node_id": node_id, "jobs_lost": lost}

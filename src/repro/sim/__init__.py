@@ -1,5 +1,6 @@
 """Discrete-event simulation kernel (SimPy-style, written from scratch)."""
 
+from .clock import CallbackHandle, Clock, SimClock
 from .core import (
     AllOf,
     AnyOf,
@@ -18,6 +19,9 @@ from .rng import RngRegistry
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CallbackHandle",
+    "Clock",
+    "SimClock",
     "Environment",
     "Event",
     "Interrupt",

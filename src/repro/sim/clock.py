@@ -1,0 +1,136 @@
+"""The clock/scheduler seam: protocol code runs on *a* clock, not *the* kernel.
+
+Historically every time-driven component held a full DES
+:class:`~repro.sim.core.Environment`.  The only things any of them actually
+use are three operations — read the current time, run a callback after a
+delay, run a callback periodically — so this module names that contract:
+
+* :class:`Clock` — the abstract seam.  ``now`` is a property (matching
+  ``Environment.now``), :meth:`schedule_callback` mirrors
+  ``Environment.schedule_callback`` but returns a cancelable handle, and
+  :meth:`call_every` builds a periodic callback out of one-shot scheduling,
+  so backends only implement the two primitives.
+* :class:`SimClock` — the DES backend: a thin adapter over an
+  :class:`~repro.sim.core.Environment` (virtual time, deterministic order).
+* The wall-clock backend lives in :mod:`repro.service.aclock`
+  (:class:`~repro.service.aclock.AsyncioClock`, with a time-dilation
+  factor); this module stays free of asyncio so the simulation kernel and
+  every protocol module built on the seam import nothing event-loop-shaped.
+
+Components written against :class:`Clock` (the heartbeat driver, the
+retry/resubmission loop, :class:`~repro.model.node.GridNode`'s completion
+scheduling) run unchanged under both backends — that single seam is what
+lets the same protocol code power the batch simulator and the live
+:mod:`repro.service` gateway.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional
+
+__all__ = ["Clock", "CallbackHandle", "SimClock"]
+
+
+class CallbackHandle:
+    """Cancelable handle for a scheduled (or periodic) callback.
+
+    Cancellation is cooperative: backends that cannot unschedule (the DES
+    kernel's event queue is append-only) simply skip the callback when it
+    fires.  ``cancel`` is idempotent.
+    """
+
+    __slots__ = ("_cancelled", "_cancel_fn")
+
+    def __init__(self, cancel_fn: Optional[Callable[[], None]] = None):
+        self._cancelled = False
+        self._cancel_fn: Optional[Callable[[], None]] = cancel_fn
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        fn, self._cancel_fn = self._cancel_fn, None
+        if fn is not None:
+            fn()
+
+    def _chain(self, cancel_fn: Optional[Callable[[], None]]) -> None:
+        """Point the handle at the next underlying one-shot (periodic use)."""
+        self._cancel_fn = cancel_fn
+
+
+class Clock(abc.ABC):
+    """What time-driven protocol code needs from its host: nothing more.
+
+    The contract is deliberately shaped like the :class:`Environment`
+    surface the code already used (``now`` property, ``schedule_callback``),
+    so adopting the seam is a type change, not a rewrite.
+    """
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in *model* seconds (virtual or dilated wall time)."""
+
+    @abc.abstractmethod
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], Any]
+    ) -> CallbackHandle:
+        """Run ``fn()`` once, ``delay`` model seconds from now."""
+
+    def call_every(
+        self,
+        period: float,
+        fn: Callable[[], Any],
+        start_delay: Optional[float] = None,
+    ) -> CallbackHandle:
+        """Run ``fn()`` every ``period`` model seconds until cancelled.
+
+        The first firing happens after ``start_delay`` (default: one full
+        period).  Built from :meth:`schedule_callback`, so every backend
+        gets periodic callbacks for free and they behave identically.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        handle = CallbackHandle()
+
+        def tick() -> None:
+            if handle.cancelled:
+                return
+            fn()
+            if not handle.cancelled:
+                inner = self.schedule_callback(period, tick)
+                handle._chain(inner.cancel)
+
+        first = self.schedule_callback(
+            period if start_delay is None else start_delay, tick
+        )
+        handle._chain(first.cancel)
+        return handle
+
+
+class SimClock(Clock):
+    """The DES backend: virtual time from an :class:`Environment`."""
+
+    __slots__ = ("env",)
+
+    def __init__(self, env) -> None:
+        self.env = env
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def schedule_callback(
+        self, delay: float, fn: Callable[[], Any]
+    ) -> CallbackHandle:
+        handle = CallbackHandle()
+
+        def guarded() -> None:
+            if not handle.cancelled:
+                fn()
+
+        self.env.schedule_callback(delay, guarded)
+        return handle

@@ -4,6 +4,7 @@ from .distributions import Tiered, WeightedChoice
 from .jobs import JobDistribution, arrival_times, generate_jobs
 from .nodes import NodeDistribution, generate_node_specs
 from .presets import PAPER_LOAD, SMALL_LOAD, TINY_LOAD, WorkloadPreset
+from .trace import dump_jobs, job_from_dict, job_to_dict, load_jobs
 
 __all__ = [
     "Tiered",
@@ -17,4 +18,8 @@ __all__ = [
     "SMALL_LOAD",
     "TINY_LOAD",
     "WorkloadPreset",
+    "dump_jobs",
+    "job_from_dict",
+    "job_to_dict",
+    "load_jobs",
 ]

@@ -1,0 +1,230 @@
+"""GridService under the DES clock: placement, retries, crashes, restarts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gridsim.invariants import check_service_accounting
+from repro.gridsim.recovery import RetryPolicy
+from repro.service.core import CancelError, GridService, ServiceConfig
+from repro.service.ledger import JobLedger, JobStatus, SqliteBackend, open_ledger
+from repro.sim.clock import SimClock
+from repro.sim.core import Environment
+from repro.sim.rng import RngRegistry
+from repro.workload.jobs import JobDistribution, generate_jobs
+from repro.workload.nodes import generate_node_specs
+from repro.workload.presets import TINY_LOAD
+from repro.workload.trace import job_to_dict
+
+HORIZON = 500_000.0
+
+
+def preset_specs(jobs=20):
+    rngs = RngRegistry(TINY_LOAD.seed)
+    specs = generate_node_specs(
+        TINY_LOAD.nodes, TINY_LOAD.gpu_slots, rngs.stream("nodes")
+    )
+    stream = generate_jobs(
+        jobs,
+        specs,
+        TINY_LOAD.gpu_slots,
+        TINY_LOAD.mean_interarrival,
+        rngs.stream("jobs"),
+        JobDistribution().with_constraint_ratio(TINY_LOAD.constraint_ratio),
+    )
+    return [job_to_dict(job) for job in stream]
+
+
+def build_service(ledger=None, **config_kwargs):
+    env = Environment()
+    clock = SimClock(env)
+    if ledger is None:
+        ledger = open_ledger(None, clock=clock)
+    else:
+        ledger.clock = clock
+    config = ServiceConfig(preset=TINY_LOAD, **config_kwargs)
+    service = GridService(config, ledger, clock)
+    return env, service
+
+
+IMPOSSIBLE = {
+    "job_id": None,
+    "submit_time": 0.0,
+    "base_duration": 10.0,
+    # no node has a 10 GHz CPU in any preset's population
+    "requirements": {
+        "cpu": {"cores": 1, "clock": 10_000.0, "memory": 0.0, "disk": 0.0}
+    },
+}
+
+
+class TestHappyPath:
+    def test_workload_drains_to_completed(self):
+        env, service = build_service()
+        service.start()
+        ids = [service.submit(spec) for spec in preset_specs(25)]
+        env.run(until=HORIZON)
+        counts = service.ledger.counts()
+        assert counts[JobStatus.COMPLETED] == 25
+        assert service.quiesced()
+        check_service_accounting(service, final=True)
+        # every id audit-trails exactly one completion
+        for job_id in ids:
+            assert service.ledger.completions(job_id) == 1
+
+    def test_status_flow_is_ledgered(self):
+        env, service = build_service()
+        service.start()
+        job_id = service.submit(preset_specs(1)[0])
+        assert service.ledger.record(job_id).status in (
+            JobStatus.MATCHED,
+            JobStatus.RUNNING,
+        )
+        env.run(until=HORIZON)
+        assert service.ledger.record(job_id).status is JobStatus.COMPLETED
+
+    def test_health_snapshot(self):
+        env, service = build_service()
+        service.start()
+        service.submit(preset_specs(1)[0])
+        health = service.health()
+        assert health["population"] == TINY_LOAD.nodes
+        assert health["status"] == "ok"
+        assert sum(health["jobs"].values()) == 1
+
+
+class TestRetriesAndAbandonment:
+    def test_impossible_job_is_abandoned_after_budget(self):
+        env, service = build_service(
+            retry=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        service.start()
+        job_id = service.submit(dict(IMPOSSIBLE))
+        assert service.ledger.record(job_id).status is JobStatus.RETRYING
+        env.run(until=HORIZON)
+        record = service.ledger.record(job_id)
+        assert record.status is JobStatus.ABANDONED
+        assert record.attempts == 3
+        check_service_accounting(service, final=True)
+
+    def test_cancel_retrying_job(self):
+        env, service = build_service()
+        service.start()
+        job_id = service.submit(dict(IMPOSSIBLE))
+        service.cancel(job_id)
+        assert service.ledger.record(job_id).status is JobStatus.CANCELLED
+        env.run(until=HORIZON)  # the cancelled retry timer must not fire
+        assert service.ledger.record(job_id).status is JobStatus.CANCELLED
+        check_service_accounting(service, final=True)
+
+    def test_cancel_running_job_refused(self):
+        env, service = build_service()
+        service.start()
+        job_id = service.submit(preset_specs(1)[0])
+        env.run(until=env.now + 1.0)
+        assert service.ledger.record(job_id).status is JobStatus.RUNNING
+        with pytest.raises(CancelError):
+            service.cancel(job_id)
+
+    def test_cancel_completed_job_refused(self):
+        env, service = build_service()
+        service.start()
+        job_id = service.submit(preset_specs(1)[0])
+        env.run(until=HORIZON)
+        with pytest.raises(CancelError):
+            service.cancel(job_id)
+
+
+class TestNodeCrash:
+    def test_lost_jobs_recover_through_heartbeat_detection(self):
+        env, service = build_service()
+        service.start()
+        ids = [service.submit(spec) for spec in preset_specs(30)]
+        env.run(until=env.now + 1.0)
+        # crash the node carrying the most live jobs
+        busiest = max(
+            service.grid_nodes.values(),
+            key=lambda n: n.queued_jobs() + n.running_jobs(),
+        )
+        lost = service.fail_node(busiest.node_id)
+        assert lost, "expected in-flight jobs on the busiest node"
+        for job_id in lost:
+            assert service.ledger.record(job_id).status is JobStatus.FAILED
+        env.run(until=HORIZON)
+        # every job resolved terminally: re-placed and completed, or
+        # abandoned if the crashed node was its only capable host
+        counts = service.ledger.counts()
+        completed = counts.get(JobStatus.COMPLETED, 0)
+        abandoned = counts.get(JobStatus.ABANDONED, 0)
+        assert completed + abandoned == len(ids)
+        assert completed >= len(ids) - len(lost)
+        assert service.tracker.balances()
+        assert service.tracker.resubmissions + service.tracker.abandonments >= len(lost)
+        for job_id in ids:
+            assert service.ledger.completions(job_id) <= 1
+        check_service_accounting(service, final=True)
+
+    def test_crash_without_heartbeat_detects_inline(self):
+        env, service = build_service(heartbeat=False)
+        service.start()
+        [service.submit(spec) for spec in preset_specs(10)]
+        env.run(until=env.now + 1.0)
+        victim = max(
+            service.grid_nodes.values(),
+            key=lambda n: n.queued_jobs() + n.running_jobs(),
+        )
+        service.fail_node(victim.node_id)
+        env.run(until=HORIZON)
+        assert service.ledger.counts()[JobStatus.COMPLETED] == 10
+        check_service_accounting(service, final=True)
+
+
+class TestRestartRecovery:
+    def test_orphans_recovered_from_persistent_ledger(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+
+        env1, service1 = build_service(JobLedger(SqliteBackend(path)))
+        service1.start()
+        ids = [service1.submit(spec) for spec in preset_specs(20)]
+        env1.run(until=env1.now + 300.0)  # mid-flight: jobs queued + running
+        in_flight = service1.ledger.in_flight()
+        assert in_flight, "kill landed too late to be interesting"
+        service1.ledger.close()  # simulate an abrupt process death
+
+        env2, service2 = build_service(JobLedger(SqliteBackend(path)))
+        service2.start()  # start() runs recover()
+        orphans = [
+            r.job_id
+            for r in (service2.ledger.record(i) for i in ids)
+            if r.status is not JobStatus.COMPLETED
+        ]
+        assert orphans, "restart should have found in-flight jobs"
+        env2.run(until=HORIZON)
+
+        counts = service2.ledger.counts()
+        assert sum(counts.values()) == len(ids)
+        terminal = (
+            counts.get(JobStatus.COMPLETED, 0)
+            + counts.get(JobStatus.ABANDONED, 0)
+            + counts.get(JobStatus.CANCELLED, 0)
+        )
+        assert terminal == len(ids)
+        # restart recovery must never duplicate an execution
+        for job_id in ids:
+            assert service2.ledger.completions(job_id) <= 1
+        assert service2.tracker.balances()
+        check_service_accounting(service2, final=True)
+
+    def test_recover_counts_only_in_flight(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        env1, service1 = build_service(JobLedger(SqliteBackend(path)))
+        service1.start()
+        ids = [service1.submit(spec) for spec in preset_specs(5)]
+        env1.run(until=HORIZON)  # drain completely
+        assert service1.quiesced()
+        service1.ledger.close()
+
+        env2, service2 = build_service(JobLedger(SqliteBackend(path)))
+        assert service2.recover() == 0  # nothing in flight, nothing re-enters
+        for job_id in ids:
+            assert service2.ledger.completions(job_id) == 1

@@ -1,0 +1,163 @@
+"""Gateway + client over a real socket, under a heavily dilated clock."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.service import (
+    AsyncioClock,
+    Gateway,
+    GridService,
+    JobStatus,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    open_ledger,
+)
+from repro.service.replay import record_trace, replay_trace
+from repro.workload.presets import TINY_LOAD
+from repro.workload.trace import load_jobs
+
+DILATION = 2_000.0
+
+
+def run_gateway(scenario, **config_kwargs):
+    """Host a gateway on an ephemeral port; run ``scenario(client, service)``
+    in a worker thread (the blocking client must stay off the loop)."""
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        clock = AsyncioClock(loop=loop, dilation=DILATION)
+        ledger = open_ledger(None, clock=clock)
+        config = ServiceConfig(preset=TINY_LOAD, **config_kwargs)
+        service = GridService(config, ledger, clock)
+        gateway = Gateway(service)
+        await gateway.start()
+        try:
+            client = ServiceClient(gateway.url, timeout=30.0)
+            return await asyncio.to_thread(scenario, client, service)
+        finally:
+            await gateway.stop()
+
+    return asyncio.run(main())
+
+
+@pytest.fixture(scope="module")
+def trace_jobs(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("wl") / "workload.jsonl")
+    record_trace(TINY_LOAD, path)
+    return load_jobs(path)
+
+
+class TestEndToEnd:
+    def test_replay_drains_to_completed(self, trace_jobs):
+        def scenario(client, service):
+            summary = replay_trace(client, trace_jobs[:20], timeout=60.0)
+            health = client.health()
+            return summary, health
+
+        summary, health = run_gateway(scenario)
+        assert summary["terminal"] == {"COMPLETED": 20}
+        assert health["jobs"] == {"COMPLETED": 20}
+        assert health["population"] == TINY_LOAD.nodes
+
+    def test_status_and_listing(self, trace_jobs):
+        def scenario(client, service):
+            job_id = client.submit(trace_jobs[0])
+            view = client.status(job_id)
+            assert view.job_id == job_id
+            assert not view.terminal or view.status is JobStatus.COMPLETED
+            client.wait([job_id], timeout=30.0)
+            done = client.jobs(JobStatus.COMPLETED)
+            assert [v.job_id for v in done] == [job_id]
+            assert client.jobs(JobStatus.RUNNING) == []
+            return client.status(job_id)
+
+        final = run_gateway(scenario)
+        assert final.status is JobStatus.COMPLETED
+        assert final.node_id is not None
+
+    def test_metrics_exposes_latency_and_census(self, trace_jobs):
+        def scenario(client, service):
+            ids = [client.submit(j) for j in trace_jobs[:5]]
+            client.wait(ids, timeout=30.0)
+            return client.metrics()
+
+        metrics = run_gateway(scenario)
+        assert metrics["jobs"] == {"COMPLETED": 5}
+        assert metrics["queue_depth"] == 0
+
+    def test_chaos_fail_node_recovers(self, trace_jobs):
+        def scenario(client, service):
+            ids = [client.submit(j) for j in trace_jobs[:15]]
+            # crash whichever node is carrying live work
+            for view in map(client.status, ids):
+                if view.status is JobStatus.RUNNING and view.node_id is not None:
+                    lost = client.fail_node(view.node_id)
+                    break
+            else:
+                lost = []
+            views = client.wait(ids, timeout=60.0)
+            return lost, views
+
+        lost, views = run_gateway(scenario)
+        assert all(v.terminal for v in views.values())
+        for job_id in lost:
+            assert views[job_id].status in (
+                JobStatus.COMPLETED,
+                JobStatus.ABANDONED,
+            )
+
+
+class TestHttpErrors:
+    def test_unknown_job_is_404(self, trace_jobs):
+        def scenario(client, service):
+            with pytest.raises(ServiceError) as excinfo:
+                client.status(987654)
+            return excinfo.value.status
+
+        assert run_gateway(scenario) == 404
+
+    def test_cancel_completed_is_409(self, trace_jobs):
+        def scenario(client, service):
+            job_id = client.submit(trace_jobs[0])
+            client.wait([job_id], timeout=30.0)
+            with pytest.raises(ServiceError) as excinfo:
+                client.cancel(job_id)
+            return excinfo.value.status
+
+        assert run_gateway(scenario) == 409
+
+    def test_bad_spec_is_400(self, trace_jobs):
+        def scenario(client, service):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("POST", "/jobs", {"nonsense": True})
+            status_bad_spec = excinfo.value.status
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/no/such/route")
+            return status_bad_spec, excinfo.value.status
+
+        assert run_gateway(scenario) == (400, 404)
+
+    def test_torn_request_does_not_kill_the_server(self, trace_jobs):
+        def scenario(client, service):
+            with socket.create_connection(
+                (client.host, client.port), timeout=5.0
+            ) as raw:
+                raw.sendall(b"GARBAGE\r\n\r\n")
+                raw.recv(1024)
+            # the server must still answer real requests afterwards
+            return client.health()["status"]
+
+        assert run_gateway(scenario) == "ok"
+
+    def test_unknown_status_filter_is_400(self, trace_jobs):
+        def scenario(client, service):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", "/jobs?status=bogus")
+            return excinfo.value.status
+
+        assert run_gateway(scenario) == 400

@@ -1,0 +1,222 @@
+"""JobLedger state machine and backend persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.ledger import (
+    LEGAL_TRANSITIONS,
+    TERMINAL_STATES,
+    IllegalTransition,
+    JobLedger,
+    JobStatus,
+    MemoryBackend,
+    SqliteBackend,
+    open_ledger,
+)
+
+SPEC = {
+    "job_id": None,
+    "submit_time": 0.0,
+    "base_duration": 60.0,
+    "requirements": {
+        "cpu": {"cores": 1, "clock": 1.0, "memory": 1.0, "disk": 1.0}
+    },
+}
+
+#: a shortest transition path from SUBMITTED into every status
+PATHS = {
+    JobStatus.SUBMITTED: [],
+    JobStatus.MATCHED: [JobStatus.MATCHED],
+    JobStatus.RUNNING: [JobStatus.MATCHED, JobStatus.RUNNING],
+    JobStatus.COMPLETED: [
+        JobStatus.MATCHED,
+        JobStatus.RUNNING,
+        JobStatus.COMPLETED,
+    ],
+    JobStatus.FAILED: [JobStatus.MATCHED, JobStatus.FAILED],
+    JobStatus.RETRYING: [JobStatus.RETRYING],
+    JobStatus.ABANDONED: [
+        JobStatus.MATCHED,
+        JobStatus.FAILED,
+        JobStatus.ABANDONED,
+    ],
+    JobStatus.CANCELLED: [JobStatus.CANCELLED],
+}
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def ledger(request, tmp_path):
+    if request.param == "memory":
+        led = JobLedger(MemoryBackend())
+    else:
+        led = JobLedger(SqliteBackend(str(tmp_path / "ledger.sqlite")))
+    yield led
+    led.close()
+
+
+def bring_to(ledger: JobLedger, status: JobStatus) -> int:
+    record = ledger.submit(SPEC, now=0.0)
+    for step in PATHS[status]:
+        ledger.transition(record.job_id, step, now=1.0)
+    assert ledger.record(record.job_id).status is status
+    return record.job_id
+
+
+class TestStateMachine:
+    def test_submit_starts_submitted(self, ledger):
+        record = ledger.submit(SPEC, now=3.0)
+        assert record.status is JobStatus.SUBMITTED
+        assert record.submitted_at == 3.0
+        assert not record.terminal
+
+    @pytest.mark.parametrize(
+        "frm,to",
+        [(f, t) for f, tos in LEGAL_TRANSITIONS.items() for t in tos],
+        ids=lambda s: s.value if isinstance(s, JobStatus) else s,
+    )
+    def test_every_legal_transition(self, ledger, frm, to):
+        job_id = bring_to(ledger, frm)
+        updated = ledger.transition(job_id, to, now=5.0)
+        assert updated.status is to
+        assert updated.updated_at == 5.0
+
+    @pytest.mark.parametrize(
+        "frm,to",
+        [
+            (f, t)
+            for f in JobStatus
+            for t in JobStatus
+            if t not in LEGAL_TRANSITIONS[f]
+        ],
+        ids=lambda s: s.value if isinstance(s, JobStatus) else s,
+    )
+    def test_every_illegal_transition_raises(self, ledger, frm, to):
+        job_id = bring_to(ledger, frm)
+        with pytest.raises(IllegalTransition) as excinfo:
+            ledger.transition(job_id, to, now=5.0)
+        assert excinfo.value.frm is frm
+        assert excinfo.value.to is to
+        # the failed transition changed nothing
+        assert ledger.record(job_id).status is frm
+
+    def test_terminal_states_have_no_exits(self):
+        for status in TERMINAL_STATES:
+            assert LEGAL_TRANSITIONS[status] == frozenset()
+
+    def test_every_status_is_reachable(self):
+        assert set(PATHS) == set(JobStatus)
+
+    def test_unknown_job_raises_keyerror(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.transition(999, JobStatus.MATCHED)
+        with pytest.raises(KeyError):
+            ledger.record(999)
+
+
+class TestRecordFields:
+    def test_node_id_kept_unless_overridden(self, ledger):
+        job_id = bring_to(ledger, JobStatus.SUBMITTED)
+        ledger.transition(job_id, JobStatus.MATCHED, now=1.0, node_id=17)
+        running = ledger.transition(job_id, JobStatus.RUNNING, now=2.0)
+        assert running.node_id == 17  # default: keep
+        failed = ledger.transition(
+            job_id, JobStatus.FAILED, now=3.0, node_id=None
+        )
+        assert failed.node_id is None  # explicit clear
+
+    def test_attempts_and_detail(self, ledger):
+        job_id = bring_to(ledger, JobStatus.SUBMITTED)
+        updated = ledger.transition(
+            job_id,
+            JobStatus.RETRYING,
+            now=1.0,
+            attempts=3,
+            detail="no capacity",
+        )
+        assert updated.attempts == 3
+        assert updated.detail == "no capacity"
+
+    def test_counts_partition_the_jobs(self, ledger):
+        for status in (
+            JobStatus.COMPLETED,
+            JobStatus.COMPLETED,
+            JobStatus.RUNNING,
+            JobStatus.CANCELLED,
+        ):
+            bring_to(ledger, status)
+        counts = ledger.counts()
+        assert counts[JobStatus.COMPLETED] == 2
+        assert counts[JobStatus.RUNNING] == 1
+        assert counts[JobStatus.CANCELLED] == 1
+        assert sum(counts.values()) == 4
+        assert len(ledger.in_flight()) == 1  # only the RUNNING one
+
+    def test_records_filter_by_status(self, ledger):
+        bring_to(ledger, JobStatus.RUNNING)
+        bring_to(ledger, JobStatus.COMPLETED)
+        running = ledger.records(JobStatus.RUNNING)
+        assert len(running) == 1
+        assert running[0].status is JobStatus.RUNNING
+
+    def test_completions_audit(self, ledger):
+        done = bring_to(ledger, JobStatus.COMPLETED)
+        live = bring_to(ledger, JobStatus.RUNNING)
+        assert ledger.completions(done) == 1
+        assert ledger.completions(live) == 0
+
+
+class TestSqlitePersistence:
+    def test_records_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        led = JobLedger(SqliteBackend(path))
+        done = bring_to(led, JobStatus.COMPLETED)
+        orphan = bring_to(led, JobStatus.RUNNING)
+        led.close()
+
+        led2 = JobLedger(SqliteBackend(path))
+        assert led2.record(done).status is JobStatus.COMPLETED
+        rec = led2.record(orphan)
+        assert rec.status is JobStatus.RUNNING
+        assert rec.spec["base_duration"] == SPEC["base_duration"]
+        assert [r.job_id for r in led2.in_flight()] == [orphan]
+        # transition audit history survives too
+        assert led2.completions(done) == 1
+        led2.close()
+
+    def test_job_ids_keep_increasing_after_reopen(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        led = JobLedger(SqliteBackend(path))
+        first = led.submit(SPEC, now=0.0).job_id
+        led.close()
+        led2 = JobLedger(SqliteBackend(path))
+        second = led2.submit(SPEC, now=1.0).job_id
+        assert second > first
+        led2.close()
+
+    def test_wal_mode_is_active(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        backend = SqliteBackend(path)
+        mode = backend._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+        backend.close()
+
+    def test_illegal_transition_not_persisted(self, tmp_path):
+        path = str(tmp_path / "ledger.sqlite")
+        led = JobLedger(SqliteBackend(path))
+        job_id = bring_to(led, JobStatus.COMPLETED)
+        with pytest.raises(IllegalTransition):
+            led.transition(job_id, JobStatus.RUNNING)
+        led.close()
+        led2 = JobLedger(SqliteBackend(path))
+        assert led2.record(job_id).status is JobStatus.COMPLETED
+        led2.close()
+
+
+def test_open_ledger_dispatches_backend(tmp_path):
+    mem = open_ledger(None)
+    assert isinstance(mem.backend, MemoryBackend)
+    mem.close()
+    disk = open_ledger(str(tmp_path / "led.sqlite"))
+    assert isinstance(disk.backend, SqliteBackend)
+    disk.close()
