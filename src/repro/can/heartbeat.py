@@ -197,6 +197,7 @@ class HeartbeatProtocol:
         rng: Optional["np.random.Generator"] = None,
         tracer: Optional[object] = None,
         profiler: Optional[object] = None,
+        metrics: Optional[object] = None,
     ):
         self.overlay = overlay
         self.config = config
@@ -204,6 +205,15 @@ class HeartbeatProtocol:
         #: optional repro.obs.Tracer; None keeps every emit site to a
         #: single attribute test (the default, benchmark-grade path)
         self.tracer = tracer
+        #: optional repro.obs.MetricsRegistry; when present the protocol
+        #: streams crash->detection latencies into a constant-memory
+        #: quantile sketch under ``hb.detection_latency``
+        self.metrics = metrics
+        self._detection_sketch = (
+            metrics.scope("hb").quantile_sketch("detection_latency")
+            if metrics is not None
+            else None
+        )
         #: optional repro.obs.Profiler; run_round wraps its phases in
         #: scopes (a handful of no-op context managers per round when off)
         self.profiler = profiler
@@ -678,12 +688,16 @@ class HeartbeatProtocol:
                 # live-but-silenced nodes (message loss) are just broken
                 # links, not detections.
                 if (
-                    self.on_failure_detected is not None
-                    and stale_id in self._fail_times
+                    stale_id in self._fail_times
                     and stale_id not in self._detected_failures
                 ):
                     self._detected_failures.add(stale_id)
-                    self.on_failure_detected(stale_id, now)
+                    if self._detection_sketch is not None:
+                        self._detection_sketch.insert(
+                            now - self._fail_times[stale_id]
+                        )
+                    if self.on_failure_detected is not None:
+                        self.on_failure_detected(stale_id, now)
 
     def _claim_timed_out_zones(self, now: float) -> None:
         """Execute predetermined take-overs for detected failures.
@@ -701,11 +715,13 @@ class HeartbeatProtocol:
             # Fallback detection: a crash nobody's table timed out (e.g.
             # every believer died first) is noticed at claim time at the
             # latest, so the recovery layer never waits forever.
-            if (
-                self.on_failure_detected is not None
-                and dead_id not in self._detected_failures
-            ):
-                self.on_failure_detected(dead_id, now)
+            if dead_id not in self._detected_failures:
+                if self._detection_sketch is not None:
+                    self._detection_sketch.insert(
+                        now - self._fail_times[dead_id]
+                    )
+                if self.on_failure_detected is not None:
+                    self.on_failure_detected(dead_id, now)
             self._detected_failures.discard(dead_id)
             dead_table = self.nodes[dead_id].table.snapshot()
             transfers = self.overlay.claim_zones(dead_id)

@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from ..analysis import ascii_plot, format_table, write_csv
-from ..gridsim import GridSimulation, MatchmakingConfig, cdf_at
+from ..gridsim import GridSimulation, MatchmakingConfig
 from ..gridsim.results import MatchmakingResult
 from ..obs import RunRecorder
 from ..workload import PAPER_LOAD, SMALL_LOAD
@@ -78,7 +78,7 @@ def report(
         rows = []
         series = {}
         for scheme, res in by_scheme.items():
-            fractions = cdf_at(res.wait_times, WAIT_GRID) * 100.0
+            fractions = res.wait_cdf_at(WAIT_GRID) * 100.0
             rows.append([scheme] + [f"{f:.2f}" for f in fractions])
             series[scheme] = (np.asarray(WAIT_GRID), fractions)
             for threshold, frac in zip(WAIT_GRID, fractions):

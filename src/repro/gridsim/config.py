@@ -29,6 +29,10 @@ class MatchmakingConfig:
     use_acceptable_nodes: bool = True
     use_dominant_ce: bool = True
     use_virtual_dimension: bool = True
+    #: stream wait/turnaround samples into constant-memory quantile
+    #: sketches instead of per-job arrays (million-job workloads); the
+    #: default keeps the exact arrays so seeded goldens stay byte-identical
+    stream_waits: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in ("can-het", "can-hom", "central"):

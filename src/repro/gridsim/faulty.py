@@ -179,8 +179,15 @@ class FaultyGridSimulation(GridSimulation):
         self.tracker = RecoveryTracker()
         self._retry_rng = self.rngs.stream("retry")
         self._churn_counter = self.metrics.scope("grid").counter("churn")
-        self._recovery_counter = self.metrics.scope("recovery").counter(
-            "events"
+        recovery_metrics = self.metrics.scope("recovery")
+        self._recovery_counter = recovery_metrics.counter("events")
+        #: streaming latency distributions (crash -> detection, crash ->
+        #: successful resubmission) — constant memory regardless of churn
+        self._detection_sketch = recovery_metrics.quantile_sketch(
+            "detection_latency"
+        )
+        self._resubmission_sketch = recovery_metrics.quantile_sketch(
+            "resubmission_latency"
         )
         self.protocol: Optional[HeartbeatProtocol] = None
         if config.detection_mode == "protocol":
@@ -193,6 +200,7 @@ class FaultyGridSimulation(GridSimulation):
                 ),
                 tracer=tracer,
                 profiler=profiler,
+                metrics=self.metrics,
             )
             # the grid bootstraps its CAN outside the protocol (no join
             # message accounting wanted); adopt it in converged state
@@ -317,9 +325,9 @@ class FaultyGridSimulation(GridSimulation):
                 self.overlay.add_node(spec.node_id, coord)
             except OverlayError:
                 return  # coordinate collision or zone in limbo; skip
-        self.grid_nodes[spec.node_id] = GridNode(
-            spec, self.env, contention=self.config.contention
-        )
+        node = GridNode(spec, self.env, contention=self.config.contention)
+        self._wire_node(node)
+        self.grid_nodes[spec.node_id] = node
         self.joins += 1
         self._churn_counter.add("joins")
         if self.tracer is not None:
@@ -332,6 +340,7 @@ class FaultyGridSimulation(GridSimulation):
         if latency is None:
             return  # already detected through another path
         self._recovery_counter.add("detections")
+        self._detection_sketch.insert(latency)
         if self.tracer is not None:
             self.tracer.emit(
                 now,
@@ -368,6 +377,7 @@ class FaultyGridSimulation(GridSimulation):
             return
         self.jobs_resubmitted += 1
         self.tracker.job_resubmitted(job.job_id, self.env.now)
+        self._resubmission_sketch.insert(self.tracker.resubmission_latencies[-1])
         self._churn_counter.add("jobs_resubmitted")
         if self.tracer is not None:
             self.tracer.emit(

@@ -56,7 +56,9 @@ def _job_on_node(node, job) -> bool:
 
 def check_matchmaking_accounting(result) -> None:
     """placed + unplaced + lost + abandoned == submitted."""
-    placed = int(result.wait_times.size)
+    # ``started`` reads the exact array, or the streaming sketch count
+    # under stream_waits — the identity holds in both record modes
+    placed = int(result.started)
     total = (
         placed
         + result.unplaced_jobs

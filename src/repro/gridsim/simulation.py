@@ -159,7 +159,14 @@ class GridSimulation:
         #: classify every job's state exactly
         self.unplaced_ids: set = set()
         self.abandoned_ids: set = set()
-        self._job_counter = self.metrics.scope("grid").counter("jobs")
+        grid_metrics = self.metrics.scope("grid")
+        self._job_counter = grid_metrics.counter("jobs")
+        #: streaming wait/turnaround distributions — one O(1) insert per
+        #: finished job, the only record under ``config.stream_waits``
+        self._wait_sketch = grid_metrics.quantile_sketch("wait_time")
+        self._turnaround_sketch = grid_metrics.quantile_sketch("turnaround")
+        for node in self.grid_nodes.values():
+            self._wire_node(node)
 
     # -- wiring ------------------------------------------------------------------
     def _build_matchmaker(self) -> Matchmaker:
@@ -171,6 +178,35 @@ class GridSimulation:
             self.rngs.stream("matchmaking"),
         )
 
+    def _wire_node(self, node: GridNode) -> None:
+        """Attach the job-lifecycle callbacks: span events + wait sketches."""
+        node.on_job_started = self._on_job_started
+        node.on_job_finished = self._on_job_finished
+
+    def _on_job_started(self, node: GridNode, job: Job) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now,
+                "grid.job_start",
+                job=job.job_id,
+                node=node.node_id,
+            )
+
+    def _on_job_finished(self, node: GridNode, job: Job) -> None:
+        # A job finishes at most once (a lost incarnation never reaches
+        # _finish), so the sketch holds the same multiset as wait_times.
+        if job.wait_time is not None:
+            self._wait_sketch.insert(job.wait_time)
+        if job.turnaround is not None:
+            self._turnaround_sketch.insert(job.turnaround)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.env.now,
+                "grid.job_finish",
+                job=job.job_id,
+                node=node.node_id,
+            )
+
     # -- processes ------------------------------------------------------------------
     def _arrival_process(self):
         for job in self.jobs:
@@ -179,11 +215,17 @@ class GridSimulation:
                 yield self.env.timeout(delay)
             self._submitted += 1
             self._job_counter.add("submitted")
+            if self.tracer is not None:
+                self.tracer.emit(self.env.now, "grid.job_submit", job=job.job_id)
             node = self.matchmaker.place(job)
             if node is None:
                 self.unplaced += 1
                 self.unplaced_ids.add(job.job_id)
                 self._job_counter.add("unplaced")
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.env.now, "grid.job_unplaced", job=job.job_id
+                    )
             else:
                 node.submit(job)
 
@@ -208,12 +250,17 @@ class GridSimulation:
         self.env.process(self._arrival_process(), name="arrivals")
         self.env.run()
 
+        # Under stream_waits the per-job arrays stay empty: the sketches
+        # (filled as each job finished) are the only record, so result
+        # memory is independent of job count.
+        collect = not self.config.stream_waits
         waits: List[float] = []
         turnarounds: List[float] = []
         lost = 0
         for index, job in enumerate(self.jobs):
             if job.wait_time is not None:
-                waits.append(job.wait_time)
+                if collect:
+                    waits.append(job.wait_time)
             elif job.run_node_id is not None:
                 lost += 1
             elif (
@@ -225,7 +272,7 @@ class GridSimulation:
                 # starting, resubmission pending or leaked) — without this
                 # bucket such jobs silently vanished from the accounting.
                 lost += 1
-            if job.turnaround is not None:
+            if collect and job.turnaround is not None:
                 turnarounds.append(job.turnaround)
         preset = self.config.preset
         return MatchmakingResult(
@@ -241,4 +288,6 @@ class GridSimulation:
             sim_end_time=self.env.now,
             jobs_submitted=self._submitted,
             abandoned_jobs=len(self.abandoned_ids),
+            wait_sketch=self._wait_sketch,
+            turnaround_sketch=self._turnaround_sketch,
         )

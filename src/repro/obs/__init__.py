@@ -23,7 +23,17 @@ The observability layer for the whole simulation stack:
   ``BENCH_*.json`` trajectory points, and the ``compare`` regression
   gate;
 * :mod:`~repro.obs.schema` — the artifact schema version and the
-  major-version compatibility check every reader applies.
+  major-version compatibility check every reader applies;
+* :mod:`~repro.obs.spans` — causal per-job :class:`Span` trees rebuilt
+  from the event stream (live via :class:`SpanBuilder` or offline over a
+  trace file) with critical-path extraction
+  (``python -m repro.obs spans`` / ``critical-path``);
+* :mod:`~repro.obs.sketch` — constant-memory streaming telemetry:
+  :class:`QuantileSketch` (deterministic KLL-style quantiles/CDFs) and
+  :class:`WindowedCounter` (sliding-window rates), first-class registry
+  monitor kinds;
+* :mod:`~repro.obs.prom` — Prometheus text exposition of a registry for
+  the live gateway's ``/metrics``.
 """
 
 from .bench import (
@@ -46,8 +56,19 @@ from .profiling import (
     render_profile,
 )
 from .progress import ProgressReporter, quiet_from_env
+from .prom import prom_name, render_prometheus
 from .registry import MetricsRegistry
 from .schema import SCHEMA_VERSION, check_schema_version
+from .sketch import QuantileSketch, WindowedCounter
+from .spans import (
+    Span,
+    SpanBuilder,
+    build_spans,
+    build_spans_from_file,
+    critical_path_summary,
+    render_critical_path,
+    render_spans,
+)
 from .summarize import TraceSummary, render_summary, summarize_events, summarize_file
 from .trace import JsonlTraceWriter, RunRecorder, read_trace
 
@@ -57,6 +78,17 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "MetricsRegistry",
+    "QuantileSketch",
+    "WindowedCounter",
+    "render_prometheus",
+    "prom_name",
+    "Span",
+    "SpanBuilder",
+    "build_spans",
+    "build_spans_from_file",
+    "critical_path_summary",
+    "render_spans",
+    "render_critical_path",
     "Profiler",
     "NullProfiler",
     "NULL_PROFILER",

@@ -383,6 +383,33 @@ def _micro_ledger(jobs: int, seed: int):
     return fn
 
 
+def _micro_sketch(inserts: int, seed: int):
+    """Streaming quantile-sketch ingest: the per-sample telemetry cost.
+
+    Feeds an exponential stream (the wait-time shape) one value at a
+    time — the path every finished job pays under ``stream_waits`` — then
+    reports the retained footprint alongside the usual rate numbers.
+    """
+    from .sketch import QuantileSketch
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        rng = np.random.default_rng(seed)
+        values = rng.exponential(1000.0, inserts).tolist()
+        sk = QuantileSketch()
+        insert = sk.insert
+        t0 = CLOCK()
+        with profiler.scope("obs.sketch_insert"):
+            for v in values:
+                insert(v)
+        wall = CLOCK() - t0
+        metrics = _micro_metrics(inserts, wall)
+        metrics["retained"] = sk.retained
+        metrics["p99"] = round(sk.quantile(0.99), 2)
+        return metrics
+
+    return fn
+
+
 def _micro_metrics(iterations: int, wall: float) -> Dict[str, Any]:
     return {
         "iterations": iterations,
@@ -518,6 +545,12 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
             "micro",
             "micro",
             _micro_ledger(100 if smoke else 500, seed),
+        ),
+        (
+            "micro.sketch",
+            "micro",
+            "micro",
+            _micro_sketch(50_000 if smoke else 500_000, seed),
         ),
     ]
     return rows

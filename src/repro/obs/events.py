@@ -69,6 +69,10 @@ class EV:
     # -- grid-level churn consequences
     GRID_CRASH = "grid.crash"        # node, jobs_lost
     GRID_JOIN = "grid.join"          # node
+    GRID_JOB_SUBMIT = "grid.job_submit"  # job
+    GRID_JOB_START = "grid.job_start"    # job, node
+    GRID_JOB_FINISH = "grid.job_finish"  # job, node
+    GRID_JOB_UNPLACED = "grid.job_unplaced"  # job (terminal: never placed)
     GRID_JOB_LOST = "grid.job_lost"  # job, node
     GRID_JOB_RESUBMIT = "grid.job_resubmit"  # job, attempt
     GRID_JOB_ABANDONED = "grid.job_abandoned"  # job, attempts

@@ -8,6 +8,11 @@ shared namespace (``protocol.broken_links``, ``grid.jobs.lost`` …) so a run
 can be snapshotted as one JSON-able tree, exported into the run manifest,
 and inspected without knowing which object owns which monitor.
 
+Two *streaming* monitor kinds join the original three:
+:class:`~repro.obs.sketch.QuantileSketch` (constant-memory latency/wait
+distributions — the million-job replacement for per-job sample arrays)
+and :class:`~repro.obs.sketch.WindowedCounter` (sliding-window rates).
+
 Scopes are cheap views: ``registry.scope("protocol")`` returns a child
 whose names are automatically prefixed; all monitors live in the root's
 flat store, keyed by their full dotted path.
@@ -18,10 +23,11 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Union
 
 from ..sim.monitor import Counter, TimeSeries, TimeWeighted
+from .sketch import QuantileSketch, WindowedCounter
 
 __all__ = ["MetricsRegistry"]
 
-Monitor = Union[Counter, TimeSeries, TimeWeighted]
+Monitor = Union[Counter, TimeSeries, TimeWeighted, QuantileSketch, WindowedCounter]
 
 
 class MetricsRegistry:
@@ -70,9 +76,40 @@ class MetricsRegistry:
             raise TypeError(f"{full!r} is a {type(mon).__name__}, not TimeWeighted")
         return mon
 
+    def quantile_sketch(self, name: str, k: Optional[int] = None) -> QuantileSketch:
+        """Get or create the streaming :class:`QuantileSketch` at ``name``."""
+        full = self._full(name)
+        mon = self._store.get(full)
+        if mon is None:
+            mon = QuantileSketch(**({"k": k} if k is not None else {}))
+            self._store[full] = mon
+        elif not isinstance(mon, QuantileSketch):
+            raise TypeError(
+                f"{full!r} is a {type(mon).__name__}, not QuantileSketch"
+            )
+        return mon
+
+    def windowed_counter(
+        self, name: str, window: float = 300.0, buckets: int = 60
+    ) -> WindowedCounter:
+        """Get or create the sliding-window :class:`WindowedCounter` at ``name``."""
+        full = self._full(name)
+        mon = self._store.get(full)
+        if mon is None:
+            mon = WindowedCounter(window=window, buckets=buckets)
+            self._store[full] = mon
+        elif not isinstance(mon, WindowedCounter):
+            raise TypeError(
+                f"{full!r} is a {type(mon).__name__}, not WindowedCounter"
+            )
+        return mon
+
     def register(self, name: str, monitor: Monitor) -> Monitor:
         """Adopt an existing monitor (e.g. a protocol's own TimeSeries)."""
-        if not isinstance(monitor, (Counter, TimeSeries, TimeWeighted)):
+        if not isinstance(
+            monitor,
+            (Counter, TimeSeries, TimeWeighted, QuantileSketch, WindowedCounter),
+        ):
             raise TypeError(f"not a monitor: {type(monitor).__name__}")
         full = self._full(name)
         existing = self._store.get(full)
@@ -122,6 +159,10 @@ class MetricsRegistry:
                     entry["last_value"] = last_v
                     entry["mean_value"] = float(mon.values.mean())
                 out[name] = entry
+            elif isinstance(mon, QuantileSketch):
+                out[name] = {"kind": "quantile_sketch", **mon.as_dict()}
+            elif isinstance(mon, WindowedCounter):
+                out[name] = {"kind": "windowed_counter", **mon.as_dict(now)}
             else:  # TimeWeighted
                 out[name] = {
                     "kind": "timeweighted",

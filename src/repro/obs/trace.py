@@ -23,9 +23,10 @@ still writes its manifest when the interpreter exits.
 from __future__ import annotations
 
 import atexit
+import gzip
 import json
 import os
-from typing import Any, Dict, IO, Optional
+from typing import Any, Dict, IO, List, Optional
 
 from .events import EventBus, TraceEvent, Tracer
 from .manifest import RunManifest
@@ -45,6 +46,14 @@ class JsonlTraceWriter:
     """Subscribe me to a bus; I stream events to a ``.jsonl`` file.
 
     ``lines`` counts *events*; the schema header line is not an event.
+
+    Paths ending in ``.jsonl.gz`` (any ``.gz`` suffix) are gzip-
+    compressed.  A raw gzip stream cannot honour the one-write-per-line
+    guarantee (compressed frames straddle lines), so the compressed path
+    buffers complete lines in memory and writes the whole file atomically
+    (temp file + ``os.replace``) on every :meth:`flush`/:meth:`close` —
+    on disk the trace is always either the previous complete flush or the
+    next one, never torn.
     """
 
     def __init__(self, path: str):
@@ -52,32 +61,59 @@ class JsonlTraceWriter:
         if parent:
             os.makedirs(parent, exist_ok=True)
         self.path = path
-        self._fh: Optional[IO[str]] = open(path, "w")
-        self._fh.write(TRACE_HEADER + "\n")
+        self.compressed = path.endswith(".gz")
+        self._buffer: Optional[List[str]] = None
+        self._fh: Optional[IO[str]] = None
+        self._closed = False
+        if self.compressed:
+            self._buffer = [TRACE_HEADER + "\n"]
+        else:
+            self._fh = open(path, "w")
+            self._fh.write(TRACE_HEADER + "\n")
         self.lines = 0
         # a writer abandoned by a crash-path shutdown still flushes
         atexit.register(self.close)
 
     def __call__(self, event: TraceEvent) -> None:
-        if self._fh is None:
+        if self._closed:
             raise ValueError(f"trace writer for {self.path!r} is closed")
-        # one write call per line: an interrupt between writes can drop a
-        # trailing line but never leave a torn (unparseable) one
-        self._fh.write(
+        line = (
             json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
             + "\n"
         )
+        if self._buffer is not None:
+            self._buffer.append(line)
+        else:
+            # one write call per line: an interrupt between writes can drop
+            # a trailing line but never leave a torn (unparseable) one
+            self._fh.write(line)
         self.lines += 1
 
+    def _write_compressed(self) -> None:
+        tmp = self.path + ".tmp"
+        with gzip.open(tmp, "wt") as gz:
+            gz.write("".join(self._buffer))
+        os.replace(tmp, self.path)
+
     def flush(self) -> None:
-        if self._fh is not None:
+        if self._closed:
+            return
+        if self._buffer is not None:
+            self._write_compressed()
+        elif self._fh is not None:
             self._fh.flush()
 
     def close(self) -> None:
-        if self._fh is not None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._buffer is not None:
+            self._write_compressed()
+            self._buffer = None
+        elif self._fh is not None:
             self._fh.close()
             self._fh = None
-            atexit.unregister(self.close)
+        atexit.unregister(self.close)
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
@@ -92,10 +128,11 @@ def read_trace(path: str):
     A leading ``trace.header`` record is version-checked and consumed, not
     yielded; header-less traces from before schema versioning still read.
     Raises :class:`ValueError` when the header's major version differs
-    from ours.
+    from ours.  ``.gz`` paths are transparently decompressed.
     """
     first = True
-    with open(path) as fh:
+    opener = gzip.open(path, "rt") if path.endswith(".gz") else open(path)
+    with opener as fh:
         for line in fh:
             line = line.strip()
             if not line:
@@ -128,6 +165,7 @@ class RunRecorder:
         name: str,
         seed: Optional[int] = None,
         enabled: bool = True,
+        compress: bool = False,
     ):
         self.out_dir = out_dir
         self.name = name
@@ -137,7 +175,8 @@ class RunRecorder:
         self.manifest = RunManifest(name=name, seed=seed)
         self._closed = False
         if enabled:
-            self.trace_path = os.path.join(out_dir, f"{name}_trace.jsonl")
+            suffix = "jsonl.gz" if compress else "jsonl"
+            self.trace_path = os.path.join(out_dir, f"{name}_trace.{suffix}")
             self.manifest_path = os.path.join(out_dir, f"{name}_run.manifest.json")
             self.writer = JsonlTraceWriter(self.trace_path)
             self.tracer = Tracer(EventBus())

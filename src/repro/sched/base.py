@@ -75,10 +75,18 @@ class Matchmaker(abc.ABC):
     def _t(self) -> float:
         return self.clock() if self.clock is not None else 0.0
 
-    def _trace_push(self, job: Job, frm: int, to: int, dim: int) -> None:
-        self.tracer.emit(
-            self._t(), "mm.push", job=job.job_id, frm=frm, to=to, dim=dim
-        )
+    def _trace_push(
+        self, job: Job, frm: int, to: int, dim: int, hop: Optional[int] = None
+    ) -> None:
+        if hop is not None:
+            self.tracer.emit(
+                self._t(), "mm.push",
+                job=job.job_id, frm=frm, to=to, dim=dim, hop=hop,
+            )
+        else:
+            self.tracer.emit(
+                self._t(), "mm.push", job=job.job_id, frm=frm, to=to, dim=dim
+            )
 
     def _record_placement(
         self,

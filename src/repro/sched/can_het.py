@@ -118,7 +118,7 @@ class CanHetMatchmaker(Matchmaker):
                     chosen, job, hops, score=self._score_of(chosen, job)
                 )
             if self.tracer is not None:
-                self._trace_push(job, current, target_id, dim)
+                self._trace_push(job, current, target_id, dim, hop=hops)
             current = target_id
             visited.add(current)
             hops += 1

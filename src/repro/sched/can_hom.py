@@ -102,7 +102,7 @@ class CanHomMatchmaker(Matchmaker):
                     self._select_min_score(capable), job, hops
                 )
             if self.tracer is not None:
-                self._trace_push(job, current, target_id, dim)
+                self._trace_push(job, current, target_id, dim, hop=hops)
             current = target_id
             visited.add(current)
             hops += 1

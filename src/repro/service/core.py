@@ -148,17 +148,19 @@ class GridService:
                 ),
                 tracer=tracer,
                 profiler=profiler,
+                metrics=metrics,
             )
             self.protocol.adopt_overlay(self.clock.now)
             self.protocol.on_failure_detected = self._on_node_detected
         if metrics is not None:
-            self._job_counter = metrics.scope("service").counter("jobs")
-            self._depth_series = metrics.scope("service").timeseries(
-                "queue_depth"
-            )
+            scope = metrics.scope("service")
+            self._job_counter = scope.counter("jobs")
+            #: streaming queue-depth distribution — O(1) memory however
+            #: many samples the service's lifetime produces
+            self._depth_sketch = scope.quantile_sketch("queue_depth")
         else:
             self._job_counter = None
-            self._depth_series = None
+            self._depth_sketch = None
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -580,8 +582,8 @@ class GridService:
         return not self.ledger.in_flight()
 
     def _sample_depth(self) -> None:
-        if self._depth_series is not None:
-            self._depth_series.record(self.clock.now, float(self.queue_depth()))
+        if self._depth_sketch is not None:
+            self._depth_sketch.insert(float(self.queue_depth()))
 
     def health(self) -> Dict:
         counts = self.ledger.counts()

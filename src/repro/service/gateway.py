@@ -66,13 +66,20 @@ class Gateway:
         self.host = host
         self.port = port  # 0 = ephemeral; real port filled in by start()
         self._server: Optional[asyncio.AbstractServer] = None
+        self.metrics = metrics
         if metrics is not None:
             scope = metrics.scope("service")
             self._request_counter = scope.counter("requests")
-            self._latency_series = scope.timeseries("request_latency")
+            #: wall-clock request latencies, streamed into a constant-
+            #: memory sketch (p50/p90/p99 survive any request volume)
+            self._latency_sketch = scope.quantile_sketch("request_latency")
+            self._request_window = scope.windowed_counter(
+                "request_rate", window=60.0, buckets=12
+            )
         else:
             self._request_counter = None
-            self._latency_series = None
+            self._latency_sketch = None
+            self._request_window = None
 
     # -- lifecycle ---------------------------------------------------------------
     async def start(self) -> None:
@@ -114,7 +121,9 @@ class Gateway:
         started = loop.time()
         try:
             try:
-                method, path, query, body = await self._read_request(reader)
+                method, path, query, body, headers = await self._read_request(
+                    reader
+                )
             except _HttpError as exc:
                 self._write_response(
                     writer, exc.status, {"error": exc.message}
@@ -123,7 +132,7 @@ class Gateway:
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
             try:
-                status, payload = self._route(method, path, query, body)
+                status, payload = self._route(method, path, query, body, headers)
             except _HttpError as exc:
                 status, payload = exc.status, {"error": exc.message}
             except Exception as exc:  # don't let one request kill the loop
@@ -131,10 +140,9 @@ class Gateway:
             self._write_response(writer, status, payload)
             if self._request_counter is not None:
                 self._request_counter.add(f"{method} {status}")
-            if self._latency_series is not None:
-                self._latency_series.record(
-                    self.service.clock.now, loop.time() - started
-                )
+            if self._latency_sketch is not None:
+                self._latency_sketch.insert(loop.time() - started)
+                self._request_window.add(self.service.clock.now)
         finally:
             try:
                 await writer.drain()
@@ -145,7 +153,7 @@ class Gateway:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Dict[str, str], Optional[Dict]]:
+    ) -> Tuple[str, str, Dict[str, str], Optional[Dict], Dict[str, str]]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -154,11 +162,13 @@ class Gateway:
             raise _HttpError(400, f"malformed request line: {request_line!r}")
         method, target, _version = parts
         content_length = 0
+        headers: Dict[str, str] = {}
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 try:
                     content_length = int(value.strip())
@@ -179,16 +189,23 @@ class Gateway:
             if pair:
                 key, _, value = pair.partition("=")
                 query[key] = value
-        return method.upper(), path, query, body
+        return method.upper(), path, query, body, headers
 
     def _write_response(
         self, writer: asyncio.StreamWriter, status: int, payload: Any
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
+        # str payloads are pre-rendered text (Prometheus exposition);
+        # everything else is the JSON API
+        if isinstance(payload, str):
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode()
+            content_type = "application/json"
         phrase = _STATUS_PHRASES.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {phrase}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n"
             "\r\n"
@@ -202,6 +219,7 @@ class Gateway:
         path: str,
         query: Dict[str, str],
         body: Optional[Dict],
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Any]:
         segments = [s for s in path.split("/") if s]
         if segments == ["jobs"]:
@@ -220,7 +238,7 @@ class Gateway:
         if segments == ["health"] and method == "GET":
             return 200, self.service.health()
         if segments == ["metrics"] and method == "GET":
-            return self._metrics()
+            return self._metrics(query, headers or {})
         if (
             len(segments) == 3
             and segments[0] == "nodes"
@@ -277,7 +295,18 @@ class Gateway:
             raise _HttpError(409, str(exc))
         return 200, self.service.ledger.record(job_id).as_dict()
 
-    def _metrics(self) -> Tuple[int, Any]:
+    def _metrics(
+        self, query: Dict[str, str], headers: Dict[str, str]
+    ) -> Tuple[int, Any]:
+        # Content negotiation: JSON snapshot by default; the Prometheus
+        # text exposition for scrapers (Accept: text/plain, like a stock
+        # Prometheus agent sends) or explicitly via ?format=prom
+        accept = headers.get("accept", "")
+        wants_text = query.get("format") == "prom" or (
+            "text/plain" in accept and "application/json" not in accept
+        )
+        if wants_text:
+            return 200, self._prometheus_text()
         metrics = self.service.metrics
         counts = self.service.ledger.counts()
         payload: Dict[str, Any] = {
@@ -289,6 +318,30 @@ class Gateway:
         if metrics is not None:
             payload["monitors"] = metrics.snapshot(now=self.service.clock.now)
         return 200, payload
+
+    def _prometheus_text(self) -> str:
+        from ..obs.prom import render_prometheus
+
+        now = self.service.clock.now
+        metrics = self.service.metrics
+        body = (
+            render_prometheus(metrics, now=now) if metrics is not None else ""
+        )
+        # instantaneous service gauges, present even without a registry
+        counts = self.service.ledger.counts()
+        extra = [
+            "# TYPE repro_service_queue_depth_current gauge",
+            f"repro_service_queue_depth_current {self.service.queue_depth()}",
+            "# TYPE repro_service_running_jobs gauge",
+            f"repro_service_running_jobs {self.service.running_jobs()}",
+            "# TYPE repro_service_jobs gauge",
+        ]
+        extra.extend(
+            f'repro_service_jobs{{status="{status.value}"}} {n}'
+            for status, n in sorted(counts.items(), key=lambda kv: kv[0].value)
+            if n
+        )
+        return body + "\n".join(extra) + "\n"
 
     def _fail_node(self, node_id: int) -> Tuple[int, Any]:
         if node_id not in self.service.grid_nodes:

@@ -103,3 +103,42 @@ class TestAccountingIdentity:
             res.wait_times.size + res.unplaced_jobs + res.lost_jobs
             == res.jobs_submitted
         )
+
+
+class TestStreamedWaits:
+    """stream_waits=True swaps exact arrays for constant-memory sketches."""
+
+    @pytest.mark.parametrize("scheme", ["can-het", "central"])
+    def test_cdf_matches_exact_within_one_percent(self, scheme):
+        from repro.experiments.common import WAIT_GRID
+        from repro.gridsim import check_matchmaking_accounting
+
+        exact = run(scheme)
+        streamed = run(scheme, stream_waits=True)
+        # streaming mode collects no per-job arrays ...
+        assert streamed.wait_times.size == 0
+        assert streamed.turnarounds.size == 0
+        # ... yet accounts for every job through the sketch count
+        assert int(streamed.started) == exact.wait_times.size
+        check_matchmaking_accounting(streamed)
+        # the Figure 5/6 acceptance bar: sketch CDF within 1% of exact
+        # at every plotted grid point
+        gap = np.abs(
+            streamed.wait_cdf_at(WAIT_GRID) - exact.wait_cdf_at(WAIT_GRID)
+        )
+        assert gap.max() <= 0.01, gap
+
+    def test_streamed_summary_has_quantiles(self):
+        streamed = run(stream_waits=True)
+        exact = run()
+        s, e = streamed.summary(), exact.summary()
+        assert set(s) == set(e)
+        assert s["jobs"] == e["jobs"]
+        assert s["mean_wait"] == pytest.approx(e["mean_wait"])
+        assert s["max_wait"] == e["max_wait"]  # extremes are always exact
+        # quantile estimates must be actual observed waits within 1% rank
+        w = np.sort(exact.wait_times)
+        for key, q in (("p50_wait", 0.5), ("p95_wait", 0.95)):
+            lo = np.searchsorted(w, s[key], side="left") / w.size
+            hi = np.searchsorted(w, s[key], side="right") / w.size
+            assert lo - 0.01 <= q <= hi + 0.01, (key, s[key], lo, hi)

@@ -7,6 +7,7 @@ import socket
 
 import pytest
 
+from repro.obs import MetricsRegistry
 from repro.service import (
     AsyncioClock,
     Gateway,
@@ -24,7 +25,7 @@ from repro.workload.trace import load_jobs
 DILATION = 2_000.0
 
 
-def run_gateway(scenario, **config_kwargs):
+def run_gateway(scenario, metrics=None, **config_kwargs):
     """Host a gateway on an ephemeral port; run ``scenario(client, service)``
     in a worker thread (the blocking client must stay off the loop)."""
 
@@ -33,8 +34,8 @@ def run_gateway(scenario, **config_kwargs):
         clock = AsyncioClock(loop=loop, dilation=DILATION)
         ledger = open_ledger(None, clock=clock)
         config = ServiceConfig(preset=TINY_LOAD, **config_kwargs)
-        service = GridService(config, ledger, clock)
-        gateway = Gateway(service)
+        service = GridService(config, ledger, clock, metrics=metrics)
+        gateway = Gateway(service, metrics=metrics)
         await gateway.start()
         try:
             client = ServiceClient(gateway.url, timeout=30.0)
@@ -43,6 +44,24 @@ def run_gateway(scenario, **config_kwargs):
             await gateway.stop()
 
     return asyncio.run(main())
+
+
+def raw_get(host, port, target, headers=None):
+    """One HTTP GET over a bare socket; returns (head, body) as text."""
+    request = f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+    for name, value in (headers or {}).items():
+        request += f"{name}: {value}\r\n"
+    request += "\r\n"
+    with socket.create_connection((host, port), timeout=10.0) as raw:
+        raw.sendall(request.encode("latin-1"))
+        chunks = []
+        while True:
+            data = raw.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    head, _, body = b"".join(chunks).partition(b"\r\n\r\n")
+    return head.decode("latin-1"), body.decode()
 
 
 @pytest.fixture(scope="module")
@@ -89,6 +108,40 @@ class TestEndToEnd:
         metrics = run_gateway(scenario)
         assert metrics["jobs"] == {"COMPLETED": 5}
         assert metrics["queue_depth"] == 0
+
+    def test_metrics_prometheus_scrape(self, trace_jobs):
+        """Accept: text/plain gets the exposition; plain GET stays JSON."""
+
+        def scenario(client, service):
+            ids = [client.submit(j) for j in trace_jobs[:3]]
+            client.wait(ids, timeout=30.0)
+            scraped = raw_get(
+                client.host,
+                client.port,
+                "/metrics",
+                {"Accept": "text/plain"},
+            )
+            explicit = raw_get(client.host, client.port, "/metrics?format=prom")
+            return scraped, explicit, client.metrics()
+
+        (head, body), (_, body2), json_payload = run_gateway(
+            scenario, metrics=MetricsRegistry()
+        )
+        assert "200 OK" in head
+        assert "text/plain; version=0.0.4" in head
+        assert '# TYPE repro_service_jobs gauge' in body
+        assert 'repro_service_jobs{status="COMPLETED"} 3' in body
+        # the request-latency sketch renders as a summary with quantiles
+        assert "# TYPE repro_service_request_latency summary" in body
+        assert 'repro_service_request_latency{quantile="0.5"}' in body
+        assert "repro_service_requests_total" in body
+        # ?format=prom negotiates text without any Accept header
+        assert "repro_service_queue_depth_current" in body2
+        # the JSON default keeps its shape, now with monitor snapshots
+        assert json_payload["jobs"] == {"COMPLETED": 3}
+        assert json_payload["monitors"]["service.request_latency"][
+            "kind"
+        ] == "quantile_sketch"
 
     def test_chaos_fail_node_recovers(self, trace_jobs):
         def scenario(client, service):

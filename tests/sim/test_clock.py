@@ -62,9 +62,14 @@ def driver(request):
 
 class TestClockContract:
     def test_now_starts_near_zero_and_advances(self, driver):
-        assert driver.clock.now < 1.0
+        # "near zero" must tolerate scheduler latency between the clock's
+        # construction and this read: at dilation 2000 even a millisecond
+        # of wall time is 2 model seconds, so bound by a fraction of the
+        # 100-model-second advance rather than an absolute sliver
+        start = driver.clock.now
+        assert start < 20.0
         driver.advance(100.0)
-        assert driver.clock.now >= 100.0
+        assert driver.clock.now >= start + 100.0
 
     def test_one_shot_fires_once_after_delay(self, driver):
         fired = []
