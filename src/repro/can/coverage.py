@@ -203,8 +203,11 @@ def has_gap(
         return False
     dims = own_zones[0].dims
     candidates = list(believed_zones) + list(own_zones)
-    los = np.array([z.lo for z in candidates])  # (n, d)
-    his = np.array([z.hi for z in candidates])
+    # one conversion pass for both bounds: tuple concatenation is cheap
+    # next to the per-element float conversions a second np.array costs
+    bounds = np.array([z.lo + z.hi for z in candidates])  # (n, 2d)
+    los = bounds[:, :dims]  # (n, d)
+    his = bounds[:, dims:]
     lo_wall = np.asarray(space_lo, dtype=float)
     hi_wall = np.asarray(space_hi, dtype=float)
     n = len(candidates)

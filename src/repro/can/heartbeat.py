@@ -112,6 +112,7 @@ class ProtocolNode:
         "_wire_cache",
         "_gap_memo",
         "_broken_cache",
+        "_version_sink",
     )
 
     def __init__(
@@ -119,12 +120,16 @@ class ProtocolNode:
         node_id: int,
         freshness_ttl: float = float("inf"),
         gap_registry: Optional[Set[int]] = None,
+        table: Optional[NeighborTable] = None,
     ):
         self.node_id = node_id
         #: protocol-level set mirroring gap_dirty flags (see the gap_dirty
         #: property) — None for a node used outside a protocol
         self._gap_registry = gap_registry
-        self.table = NeighborTable(freshness_ttl)
+        self.table = table if table is not None else NeighborTable(freshness_ttl)
+        #: optional callable invoked with the new version on every bump;
+        #: the array engine mirrors own_version into its row arrays here
+        self._version_sink: Optional[Callable[[int], None]] = None
         self.own_version = 0
         #: full tables received from other nodes (vanilla: every neighbor;
         #: compact/adaptive: only nodes whose take-over target we are) —
@@ -174,6 +179,8 @@ class ProtocolNode:
     def bump_version(self) -> None:
         self.own_version += 1
         self._record_cache = None
+        if self._version_sink is not None:
+            self._version_sink(self.own_version)
 
     def own_record(self, overlay: CanOverlay) -> BeliefRecord:
         if self._record_cache is None or self._record_cache_version != self.own_version:
@@ -268,13 +275,25 @@ class HeartbeatProtocol:
             )
 
     # ------------------------------------------------------------------ topology --
+    def _make_node(self, node_id: int) -> ProtocolNode:
+        """Create per-node protocol state (the array engine overrides this)."""
+        node = ProtocolNode(
+            node_id, self.config.failure_timeout, self._gap_dirty_ids
+        )
+        self.nodes[node_id] = node
+        self._nodes_order = None
+        return node
+
+    def _drop_node(self, node_id: int) -> None:
+        """Discard per-node protocol state (the array engine overrides this)."""
+        del self.nodes[node_id]
+        self._nodes_order = None
+        self._gap_dirty_ids.discard(node_id)
+
     def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None:
         """Insert the very first CAN member."""
         self.overlay.add_node(node_id, coord)
-        self.nodes[node_id] = ProtocolNode(
-            node_id, self.config.failure_timeout, self._gap_dirty_ids
-        )
-        self._nodes_order = None
+        self._make_node(node_id)
 
     def join(self, node_id: int, coord: Sequence[float], now: float) -> bool:
         """A node joins; returns False when deferred (target zone in limbo)."""
@@ -293,11 +312,7 @@ class HeartbeatProtocol:
             self.tracer.emit(
                 now, "can.join", node=node_id, splitter=result.splitter_id
             )
-        newcomer = ProtocolNode(
-            node_id, self.config.failure_timeout, self._gap_dirty_ids
-        )
-        self.nodes[node_id] = newcomer
-        self._nodes_order = None
+        newcomer = self._make_node(node_id)
         splitter = self.nodes[result.splitter_id]
         splitter.bump_version()
 
@@ -369,9 +384,7 @@ class HeartbeatProtocol:
             claimant.table.remove(node_id)
             claimant.gap_dirty = True
             self._notify_takeover(claimant, node_id, transfer, leaver_table, now)
-        del self.nodes[node_id]
-        self._nodes_order = None
-        self._gap_dirty_ids.discard(node_id)
+        self._drop_node(node_id)
 
     def fail(self, node_id: int, now: float) -> None:
         """Silent crash: no messages; neighbors find out via timeouts."""
@@ -393,9 +406,7 @@ class HeartbeatProtocol:
         """
         for node_id in sorted(self.overlay.members):
             if node_id not in self.nodes:
-                self.nodes[node_id] = ProtocolNode(
-                    node_id, self.config.failure_timeout, self._gap_dirty_ids
-                )
+                self._make_node(node_id)
         for node_id, pnode in self.nodes.items():
             for nid in sorted(self.overlay.neighbor_set(node_id)):
                 other = self.nodes.get(nid)
@@ -472,47 +483,74 @@ class HeartbeatProtocol:
         for node_id in self._sorted_node_ids():
             if not self.overlay.is_alive(node_id):
                 continue  # ghosts are silent
-            sender = self.nodes[node_id]
-            targets = sender.table.sorted_ids()
-            if not targets:
+            self._exchange_one_sender(
+                self.nodes[node_id],
+                takeovers,
+                vanilla,
+                now,
+                deliverable,
+                loss_rng,
+                loss_rate,
+            )
+
+    def _exchange_one_sender(
+        self,
+        sender: ProtocolNode,
+        takeovers: Dict[int, Set[int]],
+        vanilla: bool,
+        now: float,
+        deliverable: Dict[int, Optional[ProtocolNode]],
+        loss_rng: Optional["np.random.Generator"],
+        loss_rate: float,
+    ) -> None:
+        """Send one node's heartbeats for this round (account + deliver).
+
+        Shared by both engines: the object engine calls it for every alive
+        sender, the array engine only for senders whose deliveries need the
+        full structural path (the rest advance in one bulk kernel).
+        """
+        node_id = sender.node_id
+        targets = sender.table.sorted_ids()
+        if not targets:
+            return
+        own = sender.own_record(self.overlay)
+        full_size, compact_size = self._heartbeat_sizes(sender, own)
+        if vanilla:
+            full_targets, compact_targets = targets, ()
+        else:
+            tset = takeovers.get(node_id, set())
+            full_targets = [t for t in targets if t in tset]
+            compact_targets = [t for t in targets if t not in tset]
+        self._record(
+            now, MessageType.HEARTBEAT_FULL, full_size, len(full_targets)
+        )
+        self._record(
+            now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
+        )
+        miss = _MISS
+        for target_id in full_targets:
+            if loss_rng is not None and loss_rng.random() < loss_rate:
+                continue  # dropped in flight (sender still paid the bytes)
+            receiver = deliverable.get(target_id, miss)
+            if receiver is miss:
+                receiver = self._deliverable(target_id)
+                deliverable[target_id] = receiver
+            if receiver is None:
                 continue
-            own = sender.own_record(self.overlay)
-            full_size, compact_size = self._heartbeat_sizes(sender, own)
-            if vanilla:
-                full_targets, compact_targets = targets, ()
-            else:
-                tset = takeovers.get(node_id, set())
-                full_targets = [t for t in targets if t in tset]
-                compact_targets = [t for t in targets if t not in tset]
-            self._record(
-                now, MessageType.HEARTBEAT_FULL, full_size, len(full_targets)
-            )
-            self._record(
-                now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
-            )
-            for target_id in full_targets:
-                if loss_rng is not None and loss_rng.random() < loss_rate:
-                    continue  # dropped in flight (sender still paid the bytes)
-                receiver = deliverable.get(target_id, miss)
-                if receiver is miss:
-                    receiver = self._deliverable(target_id)
-                    deliverable[target_id] = receiver
-                if receiver is None:
-                    continue
-                if not receiver.table.heard_from(own, now):
-                    self._receive_record(receiver, own, now, heard=True)
-                self._merge_full_table(receiver, sender, now)
-            for target_id in compact_targets:
-                if loss_rng is not None and loss_rng.random() < loss_rate:
-                    continue
-                receiver = deliverable.get(target_id, miss)
-                if receiver is miss:
-                    receiver = self._deliverable(target_id)
-                    deliverable[target_id] = receiver
-                if receiver is None:
-                    continue
-                if not receiver.table.heard_from(own, now):
-                    self._receive_record(receiver, own, now, heard=True)
+            if not receiver.table.heard_from(own, now):
+                self._receive_record(receiver, own, now, heard=True)
+            self._merge_full_table(receiver, sender, now)
+        for target_id in compact_targets:
+            if loss_rng is not None and loss_rng.random() < loss_rate:
+                continue
+            receiver = deliverable.get(target_id, miss)
+            if receiver is miss:
+                receiver = self._deliverable(target_id)
+                deliverable[target_id] = receiver
+            if receiver is None:
+                continue
+            if not receiver.table.heard_from(own, now):
+                self._receive_record(receiver, own, now, heard=True)
 
     def _heartbeat_sizes(self, sender: ProtocolNode, own: BeliefRecord) -> Tuple[int, int]:
         """(full, compact) heartbeat sizes, memoized per table/zone state."""
@@ -675,29 +713,35 @@ class HeartbeatProtocol:
         for node_id in self._sorted_node_ids():
             if not self.overlay.is_alive(node_id):
                 continue
-            pnode = self.nodes[node_id]
-            for stale_id in pnode.table.stale_ids(now, timeout):
-                pnode.table.remove(stale_id, now)
-                pnode.gap_dirty = True
-                if self.tracer is not None:
-                    self.tracer.emit(
-                        now, "hb.failure_detected", node=node_id, suspect=stale_id
+            self._detect_failures_at(self.nodes[node_id], now, timeout)
+
+    def _detect_failures_at(
+        self, pnode: ProtocolNode, now: float, timeout: float
+    ) -> None:
+        """Time out this node's silent believed neighbors (both engines)."""
+        node_id = pnode.node_id
+        for stale_id in pnode.table.stale_ids(now, timeout):
+            pnode.table.remove(stale_id, now)
+            pnode.gap_dirty = True
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "hb.failure_detected", node=node_id, suspect=stale_id
+                )
+            # First believer to time out a *genuinely* failed node
+            # defines the protocol's detection instant.  Timeouts of
+            # live-but-silenced nodes (message loss) are just broken
+            # links, not detections.
+            if (
+                stale_id in self._fail_times
+                and stale_id not in self._detected_failures
+            ):
+                self._detected_failures.add(stale_id)
+                if self._detection_sketch is not None:
+                    self._detection_sketch.insert(
+                        now - self._fail_times[stale_id]
                     )
-                # First believer to time out a *genuinely* failed node
-                # defines the protocol's detection instant.  Timeouts of
-                # live-but-silenced nodes (message loss) are just broken
-                # links, not detections.
-                if (
-                    stale_id in self._fail_times
-                    and stale_id not in self._detected_failures
-                ):
-                    self._detected_failures.add(stale_id)
-                    if self._detection_sketch is not None:
-                        self._detection_sketch.insert(
-                            now - self._fail_times[stale_id]
-                        )
-                    if self.on_failure_detected is not None:
-                        self.on_failure_detected(stale_id, now)
+                if self.on_failure_detected is not None:
+                    self.on_failure_detected(stale_id, now)
 
     def _claim_timed_out_zones(self, now: float) -> None:
         """Execute predetermined take-overs for detected failures.
@@ -742,9 +786,7 @@ class HeartbeatProtocol:
                     )
                 self._claim_zone(claimant, dead_id, transfer, known_table, now)
             del self._fail_times[dead_id]
-            del self.nodes[dead_id]
-            self._nodes_order = None
-            self._gap_dirty_ids.discard(dead_id)
+            self._drop_node(dead_id)
             # purge exactly the nodes holding the dead node's table (the
             # reverse index), instead of sweeping the whole population
             for holder_id in self._stored_in.pop(dead_id, ()):
@@ -995,8 +1037,9 @@ class HeartbeatProtocol:
         cached_version, cached = self._takeover_cache
         if cached_version == version:
             return cached
+        dead = self.overlay.dead_ids()
         fresh = {
-            nid: self.overlay.takeover_targets(nid)
+            nid: self.overlay.takeover_targets(nid, dead)
             for nid in self.overlay.alive_ids()
         }
         self._takeover_cache = (version, fresh)

@@ -15,8 +15,7 @@ protocol layer calls it when the failure is detected.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .geometry import Zone
@@ -80,6 +79,12 @@ class CanOverlay:
         self._nbr_tick: int = 0
         self._nbr_stamp: Dict[int, int] = {}
         self._nbr_sets: Dict[int, Tuple[int, frozenset]] = {}
+        #: incremental neighbor-pair counters: ``_nbr_counts[a][b]`` is the
+        #: number of adjacent leaf pairs whose owners are (a, b), a != b.
+        #: A pure function of (leaf adjacency, owner map), maintained at the
+        #: same sites that mutate ``_adj`` / leaf ownership, so
+        #: :meth:`neighbors` is O(degree) instead of a leaf-set rebuild.
+        self._nbr_counts: Dict[int, Dict[int, int]] = {}
 
     # ------------------------------------------------------------------ queries --
     @property
@@ -103,13 +108,8 @@ class CanOverlay:
     def neighbors(self, node_id: int) -> Set[int]:
         """Ground-truth neighbor ids: owners of leaves abutting any owned leaf."""
         self._member(node_id)
-        assert self.tree is not None
-        out: Set[int] = set()
-        for lid in self._owner_leaves.get(node_id, ()):
-            for adj_lid in self._adj[lid]:
-                out.add(self.tree.leaves[adj_lid].owner)
-        out.discard(node_id)
-        return out
+        row = self._nbr_counts.get(node_id)
+        return set(row) if row else set()
 
     def neighborhood_stamp(self, node_id: int) -> int:
         """Monotone counter advancing when this node's neighborhood changes.
@@ -188,14 +188,22 @@ class CanOverlay:
         member = self.members.get(node_id)
         return member is not None and member.alive
 
-    def takeover_targets(self, node_id: int) -> Set[int]:
+    def dead_ids(self) -> Set[int]:
+        """Members still holding zones but no longer alive."""
+        return {m.node_id for m in self.members.values() if not m.alive}
+
+    def takeover_targets(
+        self, node_id: int, dead: Optional[Set[int]] = None
+    ) -> Set[int]:
         """Who would claim this node's zones if it vanished right now.
 
         This is what each node can compute locally from its split history;
-        compact heartbeats send full state only to these nodes.
+        compact heartbeats send full state only to these nodes.  Callers
+        sweeping many nodes pass :meth:`dead_ids` once via ``dead`` instead
+        of paying the member scan per call.
         """
         assert self.tree is not None
-        dead_now = {m.node_id for m in self.members.values() if not m.alive}
+        dead_now = self.dead_ids() if dead is None else dead
         excluded = dead_now | {node_id}
         targets: Set[int] = set()
         for leaf in self.leaves_of(node_id):
@@ -238,7 +246,7 @@ class CanOverlay:
             (owner_id, node_id) if new_high else (node_id, owner_id)
         )
         low, high = self.tree.split_leaf(target, dim, at, low_owner, high_owner)
-        self._split_adjacency(target.leaf_id, low, high)
+        self._split_adjacency(target.leaf_id, owner_id, low, high)
         self._owner_leaves[owner_id].discard(target.leaf_id)
         owner_leaf = low if new_high else high
         self._owner_leaves[owner_id].add(owner_leaf.leaf_id)
@@ -282,6 +290,30 @@ class CanOverlay:
         """Drop per-node cache state of a departed member (ids never recur)."""
         self._nbr_stamp.pop(node_id, None)
         self._nbr_sets.pop(node_id, None)
+        self._nbr_counts.pop(node_id, None)
+
+    def _pair_inc(self, a: int, b: int) -> None:
+        """One more adjacent leaf pair owned by (a, b)."""
+        if a == b:
+            return
+        counts = self._nbr_counts
+        row = counts.setdefault(a, {})
+        row[b] = row.get(b, 0) + 1
+        row = counts.setdefault(b, {})
+        row[a] = row.get(a, 0) + 1
+
+    def _pair_dec(self, a: int, b: int) -> None:
+        """One fewer adjacent leaf pair owned by (a, b)."""
+        if a == b:
+            return
+        counts = self._nbr_counts
+        for x, y in ((a, b), (b, a)):
+            row = counts[x]
+            remaining = row[y] - 1
+            if remaining:
+                row[y] = remaining
+            else:
+                del row[y]
 
     # ------------------------------------------------------------------ internals --
     def _transfer_all(self, node_id: int) -> List[Transfer]:
@@ -300,7 +332,14 @@ class CanOverlay:
                 continue
             new_owner = claimant.owner
             transfers.append(Transfer(lid, leaf.zone, node_id, new_owner))
+            adj_owners = [self.tree.leaves[a].owner for a in self._adj[lid]]
+            for adj_owner in adj_owners:
+                if adj_owner != node_id:
+                    self._pair_dec(node_id, adj_owner)
             self.tree.transfer(leaf, new_owner)
+            for adj_owner in adj_owners:
+                if adj_owner != new_owner:
+                    self._pair_inc(new_owner, adj_owner)
             self._owner_leaves[node_id].discard(lid)
             self._owner_leaves.setdefault(new_owner, set()).add(lid)
             self._touch_nodes(
@@ -332,26 +371,35 @@ class CanOverlay:
         assert self.tree is not None
         adj = self._adj.pop(leaf_id, set())
         self._touch_nodes({self.tree.leaves[a].owner for a in adj})
+        owner = self.tree.leaves[leaf_id].owner
         for a in adj:
             self._adj[a].discard(leaf_id)
+            self._pair_dec(owner, self.tree.leaves[a].owner)
         self.tree.leaves.pop(leaf_id, None)
 
-    def _split_adjacency(self, old_id: int, low: Leaf, high: Leaf) -> None:
+    def _split_adjacency(
+        self, old_id: int, old_owner: int, low: Leaf, high: Leaf
+    ) -> None:
         assert self.tree is not None
         old_adj = self._adj.pop(old_id)
         low_adj: Set[int] = set()
         high_adj: Set[int] = set()
         for other_id in old_adj:
             self._adj[other_id].discard(old_id)
-            other_zone = self.tree.leaves[other_id].zone
+            other = self.tree.leaves[other_id]
+            other_zone = other.zone
+            self._pair_dec(old_owner, other.owner)
             if low.zone.abuts(other_zone):
                 low_adj.add(other_id)
                 self._adj[other_id].add(low.leaf_id)
+                self._pair_inc(low.owner, other.owner)
             if high.zone.abuts(other_zone):
                 high_adj.add(other_id)
                 self._adj[other_id].add(high.leaf_id)
+                self._pair_inc(high.owner, other.owner)
         low_adj.add(high.leaf_id)
         high_adj.add(low.leaf_id)
+        self._pair_inc(low.owner, high.owner)
         self._adj[low.leaf_id] = low_adj
         self._adj[high.leaf_id] = high_adj
         leaves = self.tree.leaves
@@ -360,17 +408,23 @@ class CanOverlay:
         )
 
     def _merge_adjacency(self, a: Leaf, b: Leaf, merged: Leaf) -> None:
-        adj = (self._adj.pop(a.leaf_id) | self._adj.pop(b.leaf_id)) - {
-            a.leaf_id,
-            b.leaf_id,
-        }
+        assert self.tree is not None
+        leaves = self.tree.leaves
+        adj_a = self._adj.pop(a.leaf_id)
+        adj_b = self._adj.pop(b.leaf_id)
+        for other_id in adj_a:
+            if other_id != b.leaf_id:
+                self._pair_dec(a.owner, leaves[other_id].owner)
+        for other_id in adj_b:
+            if other_id != a.leaf_id:
+                self._pair_dec(b.owner, leaves[other_id].owner)
+        adj = (adj_a | adj_b) - {a.leaf_id, b.leaf_id}
         for other_id in adj:
             self._adj[other_id].discard(a.leaf_id)
             self._adj[other_id].discard(b.leaf_id)
             self._adj[other_id].add(merged.leaf_id)
+            self._pair_inc(merged.owner, leaves[other_id].owner)
         self._adj[merged.leaf_id] = adj
-        assert self.tree is not None
-        leaves = self.tree.leaves
         self._touch_nodes(
             {leaves[oid].owner for oid in adj} | {merged.owner}
         )
@@ -449,3 +503,14 @@ class CanOverlay:
         owned = {lid for lids in self._owner_leaves.values() for lid in lids}
         if owned != set(self.tree.leaves):
             raise AssertionError("owner map does not cover all leaves")
+        expect: Dict[int, Dict[int, int]] = {}
+        for lid, adj in self._adj.items():
+            owner = self.tree.leaves[lid].owner
+            for other_id in adj:
+                other_owner = self.tree.leaves[other_id].owner
+                if other_owner != owner:
+                    row = expect.setdefault(owner, {})
+                    row[other_owner] = row.get(other_owner, 0) + 1
+        counts = {k: v for k, v in self._nbr_counts.items() if v}
+        if counts != expect:
+            raise AssertionError("neighbor-pair counters desynced from adjacency")

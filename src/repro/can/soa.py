@@ -1,0 +1,797 @@
+"""Struct-of-arrays hot state for the heartbeat protocol (the array engine).
+
+The object engine (:mod:`repro.can.heartbeat`) keeps per-node believed
+tables as dict-of-dict freshness bookkeeping; every heartbeat round then
+walks O(nodes x degree) Python dict entries just to advance last-heard
+timestamps and scan for timeouts.  This module keeps the same *semantics*
+but moves the per-edge hot state — freshness, believed versions, reverse
+adjacency — into flat numpy arrays shared by all tables, so the per-round
+work becomes a handful of vectorised kernels plus a short Python loop over
+the exceptional cases.
+
+Design in brief:
+
+* :class:`EdgeStore` owns slot arrays indexed by *edge* (one slot per
+  believed-table entry: ``owner`` believes ``subject``): ``eh`` (last
+  heard), ``owner_row``/``subj_row`` (node row indices), ``rev`` (the
+  reverse edge's slot, -1 when the belief is not mutual), and
+  ``edge_version`` (the believed record's version).  Per-node rows carry
+  ``alive``, ``own_version`` and a table-epoch mirror.  Node rows are
+  allocated monotonically and never reused (node ids never recur), so a
+  stale ``subj_row`` always points at a permanently-dead row.
+
+* :class:`ArrayNeighborTable` subclasses
+  :class:`~repro.can.neighbor.NeighborTable` and reroutes every freshness
+  access to the store's arrays; the structural side (records, epochs,
+  copy-on-write snapshots) keeps the parent's dict machinery.  Because the
+  whole protocol manipulates tables through this interface, the object
+  engine's code paths (joins, claims, gap repair, message loss) run
+  unchanged — and byte-identically — on array-backed state.
+
+* :class:`ArrayHeartbeatProtocol` replaces the two per-round hot phases.
+  The exchange phase computes, per round, the set of *exceptional* edges
+  ``X`` (reverse belief missing or version-stale: exactly the deliveries
+  that can mutate a receiver's table) and marks their senders suspect;
+  every other alive sender's deliveries are pure freshness advances, which
+  a single bulk kernel applies at the end of the exchange.  Reads during
+  the exchange see position-filtered values (``now`` iff the subject
+  already took its turn), so mid-round snapshots match the object engine
+  exactly.  The detection phase becomes one vectorised timeout scan that
+  falls back to the shared per-node path only for flagged owners.
+
+Equivalence is pinned by the seeded goldens in ``tests/can/hb_golden.py``
+(both engines must produce byte-identical accounting and traces) and by a
+hypothesis property test driving random churn through both engines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs.profiling import NULL_PROFILER
+from .heartbeat import (
+    HeartbeatProtocol,
+    HeartbeatScheme,
+    ProtocolConfig,
+    ProtocolNode,
+)
+from .messages import MessageType
+from .neighbor import _NEG_INF, BeliefRecord, NeighborTable, TableSnapshot
+from .overlay import CanOverlay
+
+__all__ = [
+    "EdgeStore",
+    "ArrayNeighborTable",
+    "ArrayHeartbeatProtocol",
+    "build_protocol",
+    "ENGINES",
+]
+
+#: valid values of the ``engine`` config flag
+ENGINES = ("object", "array")
+
+#: sentinel distinguishing "not resolved yet" from "resolved to undeliverable"
+_MISS = object()
+
+_POS_MAX = np.iinfo(np.int64).max
+
+
+def _grown(arr: np.ndarray, new_cap: int, fill) -> np.ndarray:
+    out = np.full(new_cap, fill, dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
+class EdgeStore:
+    """Shared slot arrays for every believed-table entry of one protocol."""
+
+    def __init__(self, slot_capacity: int = 1024, row_capacity: int = 256):
+        # -- per-edge slots (owner believes subject) -------------------------
+        self.n_slots = 0  # high-water mark; freed slots are recycled
+        self._slot_cap = slot_capacity
+        self.eh = np.full(slot_capacity, _NEG_INF, dtype=np.float64)
+        self.owner_row = np.zeros(slot_capacity, dtype=np.int32)
+        self.subj_row = np.full(slot_capacity, -1, dtype=np.int32)
+        self.rev = np.full(slot_capacity, -1, dtype=np.int32)
+        self.edge_version = np.zeros(slot_capacity, dtype=np.int64)
+        self.active = np.zeros(slot_capacity, dtype=bool)
+        self.free_slots: List[int] = []
+        # -- per-node rows (allocated monotonically, never reused) -----------
+        self.n_rows = 0
+        self._row_cap = row_capacity
+        self.alive = np.zeros(row_capacity, dtype=bool)
+        self.own_version = np.zeros(row_capacity, dtype=np.int64)
+        self.epoch_of_row = np.zeros(row_capacity, dtype=np.int64)
+        self.row_of: Dict[int, int] = {}
+        self.node_of_row: List[int] = []
+        self.tables_by_row: List[Optional["ArrayNeighborTable"]] = []
+        # -- round-local exchange state --------------------------------------
+        #: slots whose freshness advances to ``round_now`` at exchange end
+        self.adv_mask: Optional[np.ndarray] = None
+        #: per-row position in this round's sender order
+        self.pos_of_row: Optional[np.ndarray] = None
+        #: per-slot sender position after which the slot reads as ``now``
+        #: (``_POS_MAX`` for slots outside the bulk advance); sized to the
+        #: full slot capacity so mid-round gathers never go out of range
+        self.avail_pos: Optional[np.ndarray] = None
+        #: position of the sender currently being processed
+        self.cur_pos: int = -1
+        self.round_now: float = 0.0
+        #: bumped whenever a bulk write lands (snapshot caches key off it)
+        self.heard_gen: int = 0
+        #: bumped on every write to a prescan-mask input (slot allocation,
+        #: edge/own version, liveness); the exchange kernel reuses its
+        #: whole prescan across rounds while this stands still
+        self.struct_gen: int = 0
+        #: rows whose tables mutated since the current exchange began —
+        #: senders re-check this instead of rescanning epoch arrays
+        self.mut_rows: set = set()
+
+    # -- rows -----------------------------------------------------------------
+    def alloc_row(self, node_id: int) -> int:
+        row = self.n_rows
+        if row >= self._row_cap:
+            new_cap = self._row_cap * 2
+            self.alive = _grown(self.alive, new_cap, False)
+            self.own_version = _grown(self.own_version, new_cap, 0)
+            self.epoch_of_row = _grown(self.epoch_of_row, new_cap, 0)
+            self._row_cap = new_cap
+        self.n_rows = row + 1
+        self.alive[row] = True
+        self.own_version[row] = 0
+        self.epoch_of_row[row] = 0
+        self.row_of[node_id] = row
+        self.node_of_row.append(node_id)
+        self.tables_by_row.append(None)
+        self.struct_gen += 1
+        return row
+
+    def table_for(self, node_id: int) -> Optional["ArrayNeighborTable"]:
+        row = self.row_of.get(node_id)
+        if row is None:
+            return None
+        return self.tables_by_row[row]
+
+    # -- slots ----------------------------------------------------------------
+    def alloc_slot(self, owner_row: int, subject_id: int) -> int:
+        free = self.free_slots
+        if free:
+            s = free.pop()
+        else:
+            s = self.n_slots
+            if s >= self._slot_cap:
+                new_cap = self._slot_cap * 2
+                self.eh = _grown(self.eh, new_cap, _NEG_INF)
+                self.owner_row = _grown(self.owner_row, new_cap, 0)
+                self.subj_row = _grown(self.subj_row, new_cap, -1)
+                self.rev = _grown(self.rev, new_cap, -1)
+                self.edge_version = _grown(self.edge_version, new_cap, 0)
+                self.active = _grown(self.active, new_cap, False)
+                if self.avail_pos is not None:
+                    self.avail_pos = _grown(self.avail_pos, new_cap, _POS_MAX)
+                self._slot_cap = new_cap
+            self.n_slots = s + 1
+        srow = self.row_of.get(subject_id, -1)
+        self.owner_row[s] = owner_row
+        self.subj_row[s] = srow
+        self.rev[s] = -1
+        self.edge_version[s] = 0
+        self.eh[s] = _NEG_INF
+        self.active[s] = True
+        self.struct_gen += 1
+        self.mut_rows.add(owner_row)
+        return s
+
+    def free_slot(self, s: int) -> None:
+        r = self.rev[s]
+        if r >= 0:
+            self.rev[r] = -1
+            self.rev[s] = -1
+        self.active[s] = False
+        self.eh[s] = _NEG_INF
+        # a slot freed mid-exchange must not receive the end-of-round bulk
+        # write (or read as advanced) if it gets reused for a different edge
+        mask = self.adv_mask
+        if mask is not None and s < mask.shape[0]:
+            mask[s] = False
+        if self.avail_pos is not None:
+            self.avail_pos[s] = _POS_MAX
+        self.free_slots.append(s)
+        self.struct_gen += 1
+        self.mut_rows.add(int(self.owner_row[s]))
+
+    # -- exchange round state -------------------------------------------------
+    def begin_exchange(
+        self,
+        now: float,
+        adv_mask: np.ndarray,
+        pos_of_row: np.ndarray,
+        avail_pos: np.ndarray,
+    ) -> None:
+        self.round_now = now
+        self.adv_mask = adv_mask
+        self.pos_of_row = pos_of_row
+        self.avail_pos = avail_pos
+        self.cur_pos = -1
+        self.mut_rows.clear()
+
+    def end_exchange(self) -> None:
+        mask = self.adv_mask
+        if mask is not None:
+            # all evidence is <= sim time, so a plain assign is the max
+            self.eh[: mask.shape[0]][mask] = self.round_now
+        self.adv_mask = None
+        self.pos_of_row = None
+        self.avail_pos = None
+        self.cur_pos = -1
+        self.heard_gen += 1
+
+    def heard_value(self, s: int) -> float:
+        """Freshness of a slot as the object engine would see it *right now*.
+
+        During the exchange, a slot flagged for the bulk advance reads as
+        ``now`` once its subject's turn has passed (the object engine would
+        have written it at that turn); otherwise the raw array value.
+        """
+        avail = self.avail_pos
+        if avail is not None and avail[s] < self.cur_pos:
+            return self.round_now
+        return self.eh[s]
+
+
+class _LazyHeard(Mapping):
+    """Snapshot ``heard`` dict materialised on first read.
+
+    Stored-table snapshots are taken on every full-table delivery but read
+    only on the rare absorb (take-over, gap reply), so the per-snapshot
+    cost must be the bare freeze: two array gathers.  The keys come from
+    the snapshot's record dict, which copy-on-write already froze in
+    matching insertion order.
+    """
+
+    __slots__ = ("_records", "_raw", "_avail", "_cur", "_now", "_d")
+
+    def __init__(self, records, raw, avail, cur, now):
+        self._records = records
+        self._raw = raw
+        self._avail = avail
+        self._cur = cur
+        self._now = now
+        self._d: Optional[Dict[int, float]] = None
+
+    def _dict(self) -> Dict[int, float]:
+        d = self._d
+        if d is None:
+            vals = self._raw
+            if self._avail is not None:
+                vals = np.where(self._avail < self._cur, self._now, vals)
+            d = self._d = dict(zip(self._records, vals.tolist()))
+        return d
+
+    def __getitem__(self, key):
+        return self._dict()[key]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+    def __contains__(self, key):
+        return key in self._records
+
+    def get(self, key, default=None):
+        return self._dict().get(key, default)
+
+    def __eq__(self, other):
+        if isinstance(other, _LazyHeard):
+            other = other._dict()
+        return self._dict() == other
+
+    __hash__ = None
+
+
+class ArrayNeighborTable(NeighborTable):
+    """A believed table whose freshness lives in :class:`EdgeStore` arrays.
+
+    Structural state (records, epochs, COW snapshots of the record dict)
+    reuses the parent; every last-heard access goes to the store.  The
+    parent's ``_last_heard`` dict stays empty.
+    """
+
+    def __init__(
+        self,
+        freshness_ttl: float,
+        store: EdgeStore,
+        node_id: int,
+        row: int,
+    ):
+        super().__init__(freshness_ttl)
+        self._store = store
+        self._node_id = node_id
+        self._row = row
+        #: subject id -> slot, in insertion order (mirrors ``_records``)
+        self._slots: Dict[int, int] = {}
+        #: bumped on any per-slot freshness write or slot change here
+        self._heard_gen = 0
+        self._snap_key: Optional[Tuple] = None
+        #: cached ``np.fromiter(_slots.values())``; None after slot changes
+        self._slots_vec: Optional[np.ndarray] = None
+
+    # -- freshness ------------------------------------------------------------
+    def advance_freshness(self, node_id: int, evidence: Optional[float]) -> None:
+        if evidence is None:
+            return
+        s = self._slots.get(node_id)
+        if s is None:
+            return
+        store = self._store
+        if evidence > store.eh[s]:
+            store.eh[s] = evidence
+            self._heard_gen += 1
+
+    def heard_from(self, record: BeliefRecord, now: float) -> bool:
+        current = self._records.get(record.node_id)
+        if current is None or record.version > current.version:
+            return False
+        s = self._slots[record.node_id]
+        store = self._store
+        if now > store.eh[s]:
+            store.eh[s] = now
+            self._heard_gen += 1
+        return True
+
+    def touch(self, node_id: int, now: float) -> None:
+        s = self._slots.get(node_id)
+        if s is None:
+            return
+        store = self._store
+        if now > store.eh[s]:
+            store.eh[s] = now
+            self._heard_gen += 1
+
+    # -- updates --------------------------------------------------------------
+    def upsert(
+        self,
+        record: BeliefRecord,
+        now: float,
+        heard: bool = False,
+        heard_at: Optional[float] = None,
+    ) -> bool:
+        evidence = now if heard else (heard_at if heard_at is not None else now)
+        nid = record.node_id
+        current = self._records.get(nid)
+        store = self._store
+        if current is None:
+            if not heard and now - evidence > self.freshness_ttl:
+                return False  # too stale to (re-)introduce
+            self._own_records()
+            self._records[nid] = record
+            s = store.alloc_slot(self._row, nid)
+            self._slots[nid] = s
+            partner = store.table_for(nid)
+            if partner is not None:
+                ps = partner._slots.get(self._node_id)
+                if ps is not None:
+                    store.rev[s] = ps
+                    store.rev[ps] = s
+            store.eh[s] = evidence
+            store.edge_version[s] = record.version
+            self._heard_gen += 1
+            self._slots_vec = None
+            self._total_zones += max(len(record.zones), 1)
+            self.epoch += 1
+            store.epoch_of_row[self._row] = self.epoch
+            self._record_seq[nid] = self.epoch
+            return True
+        s = self._slots[nid]
+        if evidence > store.eh[s]:
+            store.eh[s] = evidence
+            self._heard_gen += 1
+        if current.version > record.version or current == record:
+            return False
+        self._own_records()
+        self._records[nid] = record
+        store.edge_version[s] = record.version
+        store.struct_gen += 1
+        store.mut_rows.add(self._row)
+        self._total_zones += max(len(record.zones), 1) - max(
+            len(current.zones), 1
+        )
+        self.epoch += 1
+        store.epoch_of_row[self._row] = self.epoch
+        self._record_seq[nid] = self.epoch
+        return True
+
+    def remove(self, node_id: int, now: Optional[float] = None) -> bool:
+        record = self._records.get(node_id)
+        if record is None:
+            return False
+        self._own_records()
+        del self._records[node_id]
+        if now is not None:
+            self._recent_removals[node_id] = (record.zones, now)
+        store = self._store
+        store.free_slot(self._slots.pop(node_id))
+        self._heard_gen += 1
+        self._slots_vec = None
+        self._record_seq.pop(node_id, None)
+        self._total_zones -= max(len(record.zones), 1)
+        self.epoch += 1
+        self.removals_epoch += 1
+        store.epoch_of_row[self._row] = self.epoch
+        return True
+
+    def release(self) -> None:
+        """Free every slot (the owning node left the protocol)."""
+        store = self._store
+        for s in self._slots.values():
+            store.free_slot(s)
+        self._slots.clear()
+        self._heard_gen += 1
+        self._slots_vec = None
+
+    # -- reads ----------------------------------------------------------------
+    def records_since(self, epoch: int) -> List[Tuple[BeliefRecord, float]]:
+        store = self._store
+        slots = self._slots
+        records = self._records
+        if store.adv_mask is not None:
+            hv = store.heard_value
+            return [
+                (records[nid], hv(slots[nid]))
+                for nid, seq in self._record_seq.items()
+                if seq > epoch
+            ]
+        eh = store.eh
+        return [
+            (records[nid], eh[slots[nid]])
+            for nid, seq in self._record_seq.items()
+            if seq > epoch
+        ]
+
+    def last_heard(self, node_id: int) -> float:
+        s = self._slots.get(node_id)
+        if s is None:
+            return _NEG_INF
+        return float(self._store.heard_value(s))
+
+    def stale_ids(self, now: float, timeout: float) -> List[int]:
+        eh = self._store.eh
+        return [
+            nid for nid, s in self._slots.items() if now - eh[s] > timeout
+        ]
+
+    def snapshot(self) -> TableSnapshot:
+        store = self._store
+        key = (
+            self.epoch,
+            self._heard_gen,
+            store.heard_gen,
+            store.cur_pos if store.adv_mask is not None else -1,
+        )
+        snap = self._snap_cache
+        if snap is not None and self._snap_key == key:
+            return snap
+        slots = self._slots
+        vec = self._slots_vec
+        if vec is None:
+            vec = self._slots_vec = np.fromiter(
+                slots.values(), dtype=np.int64, count=len(slots)
+            )
+        if not len(slots):
+            heard = {}
+        else:
+            # freeze the two mutable inputs now (eh advances in later
+            # rounds; avail_pos flips on mid-round slot frees) and defer
+            # the heard_value filter + dict build to first read.  avail_pos
+            # is _POS_MAX outside the bulk advance and sized to capacity,
+            # so the gather stays in bounds for mid-round slots.
+            avail = store.avail_pos
+            heard = _LazyHeard(
+                self._records,
+                store.eh[vec],
+                None if avail is None else avail[vec],
+                store.cur_pos,
+                store.round_now,
+            )
+        snap = TableSnapshot(self._records, heard, self._total_zones)
+        # the record dict is shared with the snapshot (COW as the parent);
+        # the heard mapping is freshly frozen, so never shared
+        self._records_shared = True
+        self._snap_cache = snap
+        self._snap_key = key
+        return snap
+
+
+class ArrayHeartbeatProtocol(HeartbeatProtocol):
+    """The heartbeat protocol with batched per-round kernels.
+
+    Behaviourally identical to :class:`HeartbeatProtocol` (the goldens pin
+    byte-identical seeded accounting); only the round's hot phases run as
+    array kernels.  Message loss (``set_message_loss``) falls back to the
+    inherited per-delivery exchange, which runs exactly on array-backed
+    tables via the :class:`ArrayNeighborTable` interface.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.store = EdgeStore()
+        #: node id -> (table epoch, sorted take-over full_ids); valid for
+        #: one topology version (the take-over map's own cache key)
+        self._fid_cache: Dict[int, Tuple[int, List[int]]] = {}
+        self._fid_cache_tv: int = -1
+        #: rows aligned with the cached ``_sorted_node_ids()`` list; a
+        #: node's row never changes while it lives, so the gather is valid
+        #: for exactly as long as the order list object itself
+        self._order_rows: Optional[np.ndarray] = None
+        self._order_rows_for: Optional[List[int]] = None
+        #: (struct_gen, order, pos, adv, avail, suspect_l, alive_l)
+        self._prescan_cache: Optional[Tuple] = None
+
+    # -- node lifecycle -------------------------------------------------------
+    def _make_node(self, node_id: int) -> ProtocolNode:
+        store = self.store
+        row = store.alloc_row(node_id)
+        table = ArrayNeighborTable(
+            self.config.failure_timeout, store, node_id, row
+        )
+        store.tables_by_row[row] = table
+        node = ProtocolNode(
+            node_id, self.config.failure_timeout, self._gap_dirty_ids,
+            table=table,
+        )
+
+        # resolve the array through the store on every call: alloc_row
+        # reallocates own_version when the rows grow, and a closure holding
+        # the old array would silently write to abandoned storage
+        def sink(version: int, _store=store, _row=row) -> None:
+            _store.own_version[_row] = version
+            _store.struct_gen += 1
+            _store.mut_rows.add(_row)
+
+        node._version_sink = sink
+        self.nodes[node_id] = node
+        self._nodes_order = None
+        return node
+
+    def _drop_node(self, node_id: int) -> None:
+        store = self.store
+        table = self.nodes[node_id].table
+        table.release()
+        row = store.row_of.pop(node_id)
+        store.alive[row] = False
+        store.struct_gen += 1
+        store.tables_by_row[row] = None
+        super()._drop_node(node_id)
+
+    def fail(self, node_id: int, now: float) -> None:
+        super().fail(node_id, now)
+        store = self.store
+        store.alive[store.row_of[node_id]] = False
+        store.struct_gen += 1
+
+    # -- the exchange kernel --------------------------------------------------
+    def _exchange_heartbeats(self, now: float) -> None:
+        if self._loss_rate > 0.0:
+            # per-delivery RNG draws: the inherited object path runs exactly
+            # on array-backed tables
+            return super()._exchange_heartbeats(now)
+        store = self.store
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        vanilla = self.config.scheme is HeartbeatScheme.VANILLA
+        takeovers = {} if vanilla else self._takeover_targets_map()
+        tv = self.overlay.topology_version
+        if self._fid_cache_tv != tv:
+            self._fid_cache.clear()
+            self._fid_cache_tv = tv
+        fid_cache = self._fid_cache
+        order = self._sorted_node_ids()
+        with prof.scope("hb.exchange.prescan"):
+            # the masks are pure functions of the store's structural state
+            # and the sender order, so a settled CAN (no joins, versions,
+            # suspects, or slot churn since last round) reuses last round's
+            # prescan wholesale — only freshness moved, and freshness is
+            # not a mask input
+            cache = self._prescan_cache
+            if (
+                cache is not None
+                and cache[0] == store.struct_gen
+                and cache[1] is order
+            ):
+                _, _, pos, adv, avail, suspect_l, alive_l = cache
+            else:
+                n = store.n_slots
+                nrows = store.n_rows
+                pos = np.full(nrows, _POS_MAX, dtype=np.int64)
+                if self._order_rows_for is not order:
+                    row_of = store.row_of
+                    self._order_rows = np.fromiter(
+                        (row_of[nid] for nid in order),
+                        dtype=np.int64,
+                        count=len(order),
+                    )
+                    self._order_rows_for = order
+                pos[self._order_rows] = np.arange(len(order), dtype=np.int64)
+                active = store.active[:n]
+                owner = store.owner_row[:n]
+                subj = store.subj_row[:n]
+                rev = store.rev[:n]
+                edge_ver = store.edge_version[:n]
+                alive = store.alive[:nrows]
+                own_ver = store.own_version[:nrows]
+                subj_ok = subj >= 0
+                subj_idx = np.where(subj_ok, subj, 0)
+                live_edge = active & alive[owner] & subj_ok & alive[subj_idx]
+                # X: sender-side slots whose reverse belief is missing or
+                # version-stale — exactly the deliveries that can mutate the
+                # receiver's table.  Their senders run the full object path.
+                rev_idx = np.where(rev >= 0, rev, 0)
+                x_mask = live_edge & (
+                    (rev < 0) | (edge_ver[rev_idx] < own_ver[owner])
+                )
+                suspect = np.zeros(nrows, dtype=bool)
+                if x_mask.any():
+                    suspect[owner[x_mask]] = True
+                # every other delivery is a pure freshness advance: mutual,
+                # version-current edges between live endpoints whose
+                # subject's sends need no structural handling
+                adv = (
+                    live_edge
+                    & (rev >= 0)
+                    & ~suspect[subj_idx]
+                    & (edge_ver == own_ver[subj_idx])
+                )
+                avail = np.full(store.eh.shape[0], _POS_MAX, dtype=np.int64)
+                avail[:n] = np.where(adv, pos[subj_idx], _POS_MAX)
+                # plain lists: the senders loop reads these once per sender,
+                # where a numpy scalar index costs several times a list one
+                suspect_l = suspect.tolist()
+                alive_l = alive.tolist()
+                self._prescan_cache = (
+                    store.struct_gen, order, pos, adv, avail,
+                    suspect_l, alive_l,
+                )
+            store.begin_exchange(now, adv, pos, avail)
+        deliverable: Dict[int, Optional[ProtocolNode]] = {}
+        tracer = self.tracer
+        miss = _MISS
+        full_count = full_bytes = comp_count = comp_bytes = 0
+        with prof.scope("hb.exchange.senders"):
+            nodes = self.nodes
+            mut_rows = store.mut_rows
+            for i, node_id in enumerate(order):
+                sender = nodes[node_id]
+                table = sender.table
+                row = table._row
+                # the store's alive flags mirror overlay liveness for every
+                # protocol member (the kernels above already rely on it)
+                if not alive_l[row]:
+                    continue  # ghosts are silent
+                if not table._records:
+                    continue
+                store.cur_pos = i
+                if suspect_l[row] or row in mut_rows:
+                    # pre-round exceptional edges, or mutated mid-round by
+                    # an earlier sender's merge: full object path
+                    self._exchange_one_sender(
+                        sender, takeovers, vanilla, now, deliverable, None, 0.0
+                    )
+                    continue
+                own = sender.own_record(self.overlay)
+                # inlined _heartbeat_sizes memo hit (the overwhelming case)
+                wc = sender._wire_cache
+                if wc is not None and wc[0] == (table.epoch, own.zone_count):
+                    full_size, compact_size = wc[1], wc[2]
+                else:
+                    full_size, compact_size = self._heartbeat_sizes(
+                        sender, own
+                    )
+                if vanilla:
+                    full_ids = table.sorted_ids()
+                    n_full = len(full_ids)
+                elif takeovers.get(node_id):
+                    cached = fid_cache.get(node_id)
+                    if cached is not None and cached[0] == table.epoch:
+                        full_ids = cached[1]
+                    else:
+                        full_ids = sorted(
+                            t
+                            for t in takeovers[node_id]
+                            if t in table._records
+                        )
+                        fid_cache[node_id] = (table.epoch, full_ids)
+                    n_full = len(full_ids)
+                else:
+                    full_ids = ()
+                    n_full = 0
+                n_comp = len(table._records) - n_full
+                if tracer is None:
+                    full_count += n_full
+                    full_bytes += full_size * n_full
+                    comp_count += n_comp
+                    comp_bytes += compact_size * n_comp
+                else:
+                    self._record(
+                        now, MessageType.HEARTBEAT_FULL, full_size, n_full
+                    )
+                    self._record(
+                        now, MessageType.HEARTBEAT, compact_size, n_comp
+                    )
+                # a clean sender's targets all hold its record at the
+                # current version (anything else is an X edge), so direct
+                # freshness is covered by the bulk advance; only the
+                # full-table merges remain.  The dominant case — the target
+                # already processed this exact table state — is inlined:
+                # nothing can change mid-loop (merges only mutate the
+                # receiver), so one snapshot serves every skip.
+                snap = None
+                epoch = table.epoch
+                for target_id in full_ids:
+                    receiver = deliverable.get(target_id, miss)
+                    if receiver is miss:
+                        receiver = self._deliverable(target_id)
+                        deliverable[target_id] = receiver
+                    if receiver is None:
+                        continue
+                    last = receiver.processed_epoch.get(node_id)
+                    if (
+                        last is not None
+                        and last[0] == epoch
+                        and last[1] == receiver.own_version
+                        and last[2] == receiver.table.removals_epoch
+                    ):
+                        if snap is None:
+                            snap = table.snapshot()
+                        receiver.stored_tables[node_id] = snap
+                        continue
+                    self._merge_full_table(receiver, sender, now)
+            if tracer is None:
+                self.stats.record_bulk(
+                    MessageType.HEARTBEAT_FULL, full_bytes, full_count
+                )
+                self.stats.record_bulk(
+                    MessageType.HEARTBEAT, comp_bytes, comp_count
+                )
+        with prof.scope("hb.exchange.advance"):
+            store.end_exchange()
+
+    # -- the detection kernel -------------------------------------------------
+    def _detect_failures(self, now: float) -> None:
+        store = self.store
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        timeout = self.config.failure_timeout
+        with prof.scope("hb.detect.scan"):
+            n = store.n_slots
+            if not n:
+                return
+            stale = store.active[:n] & ((now - store.eh[:n]) > timeout)
+            if not stale.any():
+                return
+            rows = np.unique(store.owner_row[:n][stale])
+            node_of_row = store.node_of_row
+            flagged = sorted(node_of_row[r] for r in rows)
+        overlay_alive = self.overlay.is_alive
+        for node_id in flagged:
+            if not overlay_alive(node_id):
+                continue
+            pnode = self.nodes.get(node_id)
+            if pnode is not None:
+                self._detect_failures_at(pnode, now, timeout)
+
+
+def build_protocol(
+    overlay: CanOverlay,
+    config: ProtocolConfig,
+    engine: str = "object",
+    **kwargs,
+) -> HeartbeatProtocol:
+    """Construct a heartbeat protocol for the requested engine."""
+    if engine == "array":
+        return ArrayHeartbeatProtocol(overlay, config, **kwargs)
+    if engine != "object":
+        raise ValueError(f"unknown heartbeat engine {engine!r}")
+    return HeartbeatProtocol(overlay, config, **kwargs)

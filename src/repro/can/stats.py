@@ -8,7 +8,7 @@ the paper's per-node-per-minute averages over a measurement window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from .messages import MessageType
@@ -49,6 +49,18 @@ class MessageStats:
             self.count[mtype] += copies
             self.bytes[mtype] += size_bytes * copies
 
+    def record_bulk(self, mtype: MessageType, total_bytes: int, copies: int) -> None:
+        """Count ``copies`` messages totalling ``total_bytes`` (pre-summed).
+
+        Batched round kernels accumulate per-round totals in plain ints and
+        flush them here once, instead of one :meth:`record` call per sender.
+        """
+        if copies < 0 or total_bytes < 0:
+            raise ValueError("negative message accounting")
+        if copies:
+            self.count[mtype] += copies
+            self.bytes[mtype] += total_bytes
+
     def track_population(self, now: float, alive_nodes: int) -> None:
         """Advance the node-seconds integral to ``now``."""
         if not self._started:
@@ -81,7 +93,16 @@ class MessageStats:
         self.track_population(now, self._last_nodes)
         node_minutes = self._node_seconds / 60.0
         if node_minutes <= 0:
-            raise ValueError("empty measurement window")
+            # Zero-length window (warm-up consumed the whole run, or a smoke
+            # run too short to accumulate node-seconds): report zero rates
+            # instead of crashing the caller.
+            return RateSummary(
+                messages_per_node_minute=0.0,
+                kbytes_per_node_minute=0.0,
+                window_seconds=now - self._window_start,
+                node_minutes=0.0,
+                by_type={},
+            )
         msgs, vol = self.totals()
         return RateSummary(
             messages_per_node_minute=msgs / node_minutes,

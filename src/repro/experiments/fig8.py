@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from ..analysis import ascii_plot, format_table, write_csv
 from ..can.heartbeat import HeartbeatScheme
@@ -46,6 +45,7 @@ def fig8_config(
     gpu_slots: int,
     fast: bool = False,
     seed: int | None = None,
+    engine: str = "object",
 ) -> ChurnConfig:
     """Slow-churn configuration used for the cost measurements.
 
@@ -61,6 +61,7 @@ def fig8_config(
         event_gap_mean=120.0,
         leave_mode="fail",
         duration=1_200.0 if fast else 1_800.0,
+        engine=engine,
     )
     if seed is not None:
         kwargs["seed"] = seed
@@ -73,16 +74,21 @@ def run(
     node_sweep: Sequence[int] | None = None,
     gpu_slot_sweep: Sequence[int] = GPU_SLOT_SWEEP,
     recorder: RunRecorder | None = None,
+    schemes: Sequence[HeartbeatScheme] = tuple(HeartbeatScheme),
+    engine: str = "object",
 ) -> Dict[Tuple[str, int, int], ChurnResult]:
     """Results keyed by (scheme, nodes, dims)."""
     if node_sweep is None:
         node_sweep = FAST_NODE_SWEEP if fast else NODE_SWEEP
     tracer = recorder.tracer if recorder is not None else None
     out: Dict[Tuple[str, int, int], ChurnResult] = {}
-    for scheme in HeartbeatScheme:
+    for scheme in schemes:
         for nodes in node_sweep:
             for gpu_slots in gpu_slot_sweep:
-                cfg = fig8_config(scheme, nodes, gpu_slots, fast=fast, seed=seed)
+                cfg = fig8_config(
+                    scheme, nodes, gpu_slots, fast=fast, seed=seed,
+                    engine=engine,
+                )
                 label = f"fig8 {scheme.value} n={nodes} d={cfg.dims}"
                 if recorder is not None:
                     recorder.run_start(
@@ -165,12 +171,58 @@ def report(results: Dict[Tuple[str, int, int], ChurnResult], out_dir: str) -> st
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
+    parser = experiment_argparser(__doc__.splitlines()[0])
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="run a single cell with this population instead of the sweep",
+    )
+    parser.add_argument(
+        "--gpu-slots",
+        type=int,
+        default=None,
+        choices=GPU_SLOT_SWEEP,
+        help="single-cell GPU slots (0-3 -> 5/8/11/14 dims; default 2)",
+    )
+    parser.add_argument(
+        "--scheme",
+        choices=[s.value for s in HeartbeatScheme],
+        default=None,
+        help="single-cell heartbeat scheme (default: all three)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["object", "array"],
+        default="object",
+        help="heartbeat engine (identical results; array scales to 10k+)",
+    )
+    args = parser.parse_args(argv)
+    single_cell = args.nodes is not None or args.gpu_slots is not None
+    node_sweep = [args.nodes] if args.nodes is not None else None
+    gpu_slot_sweep = (
+        (args.gpu_slots if args.gpu_slots is not None else 2,)
+        if single_cell
+        else GPU_SLOT_SWEEP
+    )
+    schemes = (
+        (HeartbeatScheme(args.scheme),)
+        if args.scheme is not None
+        else tuple(HeartbeatScheme)
+    )
     with recorder_for(args, "fig8") as rec:
-        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        results = run(
+            fast=args.fast,
+            seed=args.seed,
+            node_sweep=node_sweep,
+            gpu_slot_sweep=gpu_slot_sweep,
+            recorder=rec,
+            schemes=schemes,
+            engine=args.engine,
+        )
         print(report(results, args.out))
         rec.close(
-            config={"fast": args.fast},
+            config={"fast": args.fast, "engine": args.engine},
             artifacts=["fig8_scalability.csv"],
         )
     return 0

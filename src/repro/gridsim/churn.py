@@ -11,12 +11,11 @@ message costs and broken links are recorded by the protocol engine.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional
+from typing import Optional
 
-import numpy as np
-
-from ..can.heartbeat import HeartbeatProtocol, ProtocolConfig
+from ..can.heartbeat import ProtocolConfig
 from ..can.overlay import CanOverlay
+from ..can.soa import build_protocol
 from ..can.space import ResourceSpace
 from ..obs.registry import MetricsRegistry
 from ..sim.core import Environment
@@ -47,7 +46,7 @@ class ChurnSimulation:
         self.env = Environment(tracer=tracer, profiler=profiler)
         self.space = ResourceSpace(gpu_slots=config.gpu_slots)
         self.overlay = CanOverlay(self.space)
-        self.protocol = HeartbeatProtocol(
+        self.protocol = build_protocol(
             self.overlay,
             ProtocolConfig(
                 scheme=config.scheme,
@@ -57,6 +56,7 @@ class ChurnSimulation:
                 periodic_gap_check_every=config.periodic_gap_check_every,
                 detection=config.detection,
             ),
+            engine=config.engine,
             tracer=tracer,
             profiler=profiler,
         )

@@ -73,10 +73,15 @@ class ChurnConfig:
     #: probability that any single heartbeat delivery is lost in flight
     #: (fault injection; 0 keeps the loss-free deterministic path)
     message_loss: float = 0.0
+    #: heartbeat engine: "object" (dict-per-node reference implementation)
+    #: or "array" (struct-of-arrays batched round kernels, same results)
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         if self.initial_nodes < 2:
             raise ValueError("need at least two nodes")
+        if self.engine not in ("object", "array"):
+            raise ValueError(f"unknown heartbeat engine {self.engine!r}")
         if self.leave_mode not in ("fail", "graceful"):
             raise ValueError(f"unknown leave_mode {self.leave_mode!r}")
         if self.event_gap_mean <= 0 or self.heartbeat_period <= 0:

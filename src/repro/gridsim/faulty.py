@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..can.heartbeat import HeartbeatProtocol, HeartbeatScheme, ProtocolConfig
 from ..can.overlay import OverlayError
+from ..can.soa import build_protocol
 from ..model.job import Job
 from ..model.node import GridNode
 from ..sched.base import expanding_ring_search, fastest_dominant_clock
@@ -73,6 +74,9 @@ class FaultyGridConfig:
     heartbeat_scheme: HeartbeatScheme = HeartbeatScheme.VANILLA
     #: protocol mode: silent periods before a neighbor is declared failed
     failure_timeout_periods: float = 2.5
+    #: protocol mode: heartbeat engine ("object" or "array"); identical
+    #: results, array scales to much larger populations
+    engine: str = "object"
     #: resubmission backoff/budget policy
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: never let churn shrink the grid below this fraction of the start size
@@ -96,6 +100,8 @@ class FaultyGridConfig:
             raise ValueError("min_population_fraction must be in (0, 1]")
         if self.invariant_check_every < 0:
             raise ValueError("invariant_check_every must be non-negative")
+        if self.engine not in ("object", "array"):
+            raise ValueError(f"unknown heartbeat engine {self.engine!r}")
         # failure_timeout_periods is validated by ProtocolConfig; construct
         # one eagerly so a bad value fails at config time, not mid-run
         if self.detection_mode == "protocol":
@@ -191,13 +197,14 @@ class FaultyGridSimulation(GridSimulation):
         )
         self.protocol: Optional[HeartbeatProtocol] = None
         if config.detection_mode == "protocol":
-            self.protocol = HeartbeatProtocol(
+            self.protocol = build_protocol(
                 self.overlay,
                 ProtocolConfig(
                     scheme=config.heartbeat_scheme,
                     period=config.matchmaking.preset.heartbeat_period,
                     failure_timeout_periods=config.failure_timeout_periods,
                 ),
+                engine=config.engine,
                 tracer=tracer,
                 profiler=profiler,
                 metrics=self.metrics,

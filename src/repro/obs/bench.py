@@ -146,17 +146,19 @@ def _micro_route(routes: int, nodes: int, seed: int):
     return fn
 
 
-def _build_protocol(scheme, nodes: int, seed: int, profiler=None):
+def _build_protocol(scheme, nodes: int, seed: int, profiler=None, engine="object"):
     """A populated heartbeat protocol on a fresh overlay (shared harness)."""
-    from ..can.heartbeat import HeartbeatProtocol, ProtocolConfig
+    from ..can.heartbeat import ProtocolConfig
     from ..can.overlay import CanOverlay
+    from ..can.soa import build_protocol
     from ..can.space import ResourceSpace
     from ..workload.nodes import generate_node_specs
 
     space = ResourceSpace(gpu_slots=2)
     overlay = CanOverlay(space)
-    proto = HeartbeatProtocol(
-        overlay, ProtocolConfig(scheme=scheme), profiler=profiler
+    proto = build_protocol(
+        overlay, ProtocolConfig(scheme=scheme), engine=engine,
+        profiler=profiler,
     )
     rng = np.random.default_rng(seed)
     specs = generate_node_specs(nodes, 2, rng)
@@ -173,9 +175,11 @@ def _build_protocol(scheme, nodes: int, seed: int, profiler=None):
     return proto
 
 
-def _micro_heartbeat(scheme, rounds: int, nodes: int, seed: int):
+def _micro_heartbeat(scheme, rounds: int, nodes: int, seed: int, engine="object"):
     def fn(profiler: Profiler) -> Dict[str, Any]:
-        proto = _build_protocol(scheme, nodes, seed, profiler=profiler)
+        proto = _build_protocol(
+            scheme, nodes, seed, profiler=profiler, engine=engine
+        )
         t0 = CLOCK()
         for i in range(rounds):
             proto.run_round(60.0 * (i + 1))
@@ -487,6 +491,59 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
                 _churn_run(scheme, seed, **scale),
             )
         )
+    # fig8 at scale (full mode only): the object/array engine pair at 1k
+    # nodes pins the speedup, and the array engine carries the 10k/100k
+    # populations the object engine cannot reach in reasonable time.  The
+    # 1k pair measures steady maintenance throughput (the fig8 regime —
+    # events slower than the period), so its churn is sparse enough that
+    # repair storms do not overlap the round kernels under comparison;
+    # the 10k/100k rows keep the standard fig8 event density.
+    if not smoke:
+        scale_churn = dict(event_gap_mean=120.0, leave_mode="fail")
+        pair_churn = dict(event_gap_mean=600.0, leave_mode="fail")
+        rows += [
+            (
+                "fig8.1k.object",
+                "fig8-scale",
+                "sim",
+                _churn_run(
+                    HeartbeatScheme.ADAPTIVE, seed, initial_nodes=1_000,
+                    duration=21_600.0, engine="object", **pair_churn,
+                ),
+            ),
+            (
+                "fig8.1k.array",
+                "fig8-scale",
+                "sim",
+                _churn_run(
+                    HeartbeatScheme.ADAPTIVE, seed, initial_nodes=1_000,
+                    duration=21_600.0, engine="array", **pair_churn,
+                ),
+            ),
+            (
+                "fig8.10k",
+                "fig8-scale",
+                "sim",
+                _churn_run(
+                    HeartbeatScheme.ADAPTIVE, seed, initial_nodes=10_000,
+                    duration=1_200.0, engine="array", **scale_churn,
+                ),
+            ),
+            (
+                # the 5-dim fig8 cell: at 11 dims the CAN's average degree
+                # (and with it the per-join cost) grows enough that the
+                # 100k bootstrap alone would run for the better part of an
+                # hour — the low-dimension cell keeps the row regenerable
+                "fig8.100k",
+                "fig8-scale",
+                "sim",
+                _churn_run(
+                    HeartbeatScheme.ADAPTIVE, seed, initial_nodes=100_000,
+                    gpu_slots=0, duration=600.0, engine="array",
+                    **scale_churn,
+                ),
+            ),
+        ]
     # micro-benchmarks of the hot substrate operations
     routes = 200 if smoke else 1_000
     rounds = 20 if smoke else 60
@@ -503,6 +560,21 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
                 _micro_heartbeat(s, rounds, 100 if smoke else 200, seed),
             )
             for s in hb_schemes
+        ),
+        (
+            # the array engine's batched per-round kernels, on a converged
+            # population (pure clean-path rounds); compare against
+            # micro.heartbeat_round.vanilla for the per-round speedup
+            "micro.round_kernel",
+            "micro",
+            "micro",
+            _micro_heartbeat(
+                HeartbeatScheme.VANILLA,
+                200 if smoke else 400,
+                100 if smoke else 200,
+                seed,
+                engine="array",
+            ),
         ),
         (
             "micro.aggregation_step",

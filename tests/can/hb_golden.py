@@ -49,9 +49,18 @@ SCHEMES = [
 ]
 
 
-def run_case(case: str, scheme: HeartbeatScheme, seed: int = 20110926) -> Dict[str, Any]:
-    """One seeded churn run reduced to its accounting fingerprint."""
-    config = ChurnConfig(scheme=scheme, seed=seed, **CASES[case])
+def run_case(
+    case: str,
+    scheme: HeartbeatScheme,
+    seed: int = 20110926,
+    engine: str = "object",
+) -> Dict[str, Any]:
+    """One seeded churn run reduced to its accounting fingerprint.
+
+    Both engines must reproduce the same fingerprint: the goldens were
+    produced by the object engine and the array engine is pinned to them.
+    """
+    config = ChurnConfig(scheme=scheme, seed=seed, engine=engine, **CASES[case])
     fd, trace_path = tempfile.mkstemp(suffix=".jsonl")
     os.close(fd)
     try:

@@ -19,13 +19,14 @@ with open(GOLDEN_PATH) as fh:
     GOLDENS = json.load(fh)
 
 
+@pytest.mark.parametrize("engine", ["object", "array"])
 @pytest.mark.parametrize(
     "case,scheme",
     [(case, scheme) for case in CASES for scheme in SCHEMES],
     ids=[f"{case}.{scheme.value}" for case in CASES for scheme in SCHEMES],
 )
-def test_accounting_fingerprint_matches_golden(case, scheme):
-    got = run_case(case, scheme)
+def test_accounting_fingerprint_matches_golden(case, scheme, engine):
+    got = run_case(case, scheme, engine=engine)
     want = GOLDENS[f"{case}.{scheme.value}"]
     # compare field by field first so a drift names the counter, not a blob
     for field in want:

@@ -1,0 +1,218 @@
+"""Unit tests for the struct-of-arrays heartbeat hot state."""
+
+import numpy as np
+import pytest
+
+from repro.can.geometry import Zone
+from repro.can.neighbor import _NEG_INF, BeliefRecord, NeighborTable
+from repro.can.soa import ArrayNeighborTable, EdgeStore, build_protocol
+from repro.gridsim.config import ChurnConfig
+from repro.gridsim.faulty import FaultyGridConfig
+
+
+def rec(nid: int, version: int = 0) -> BeliefRecord:
+    zone = Zone([nid / 100.0, 0.0], [nid / 100.0 + 0.01, 1.0])
+    return BeliefRecord(
+        node_id=nid, version=version, zones=(zone,), coord=(0.0, 0.0)
+    )
+
+
+def make_table(store: EdgeStore, node_id: int) -> ArrayNeighborTable:
+    row = store.alloc_row(node_id)
+    table = ArrayNeighborTable(150.0, store, node_id, row)
+    store.tables_by_row[row] = table
+    return table
+
+
+class TestEdgeStore:
+    def test_slot_alloc_free_reuse(self):
+        store = EdgeStore(slot_capacity=2)
+        s0 = store.alloc_slot(0, 1)
+        s1 = store.alloc_slot(0, 2)
+        s2 = store.alloc_slot(0, 3)  # forces a grow
+        assert len({s0, s1, s2}) == 3
+        assert store.active[s1]
+        store.free_slot(s1)
+        assert not store.active[s1]
+        assert store.eh[s1] == _NEG_INF
+        assert store.alloc_slot(1, 4) == s1  # freed slot recycled
+
+    def test_row_growth_and_monotonic_rows(self):
+        store = EdgeStore(row_capacity=2)
+        rows = [store.alloc_row(i) for i in range(5)]
+        assert rows == [0, 1, 2, 3, 4]
+        assert store.alive[:5].all()
+        assert store.row_of == {i: i for i in range(5)}
+
+    def test_rev_linking_and_unlinking(self):
+        store = EdgeStore()
+        a = make_table(store, 1)
+        b = make_table(store, 2)
+        a.upsert(rec(2), now=0.0)
+        sa = a._slots[2]
+        assert store.rev[sa] == -1  # b does not believe a yet
+        b.upsert(rec(1), now=0.0)
+        sb = b._slots[1]
+        assert store.rev[sa] == sb and store.rev[sb] == sa
+        a.remove(2)
+        assert store.rev[sb] == -1  # freeing one side unlinks the other
+
+
+class TestArrayTableMatchesObjectTable:
+    """Differential: every override behaves like the dict implementation."""
+
+    def pair(self):
+        store = EdgeStore()
+        arr = make_table(store, 99)
+        store.alloc_row(1)  # subjects get rows so rev indexing is exercised
+        store.alloc_row(2)
+        obj = NeighborTable(150.0)
+        return obj, arr
+
+    def test_upsert_heard_remove_sequence(self):
+        obj, arr = self.pair()
+        for table in (obj, arr):
+            assert table.upsert(rec(1), now=0.0)
+            assert table.upsert(rec(2, version=1), now=5.0, heard_at=2.0)
+            assert not table.upsert(rec(2, version=0), now=6.0)  # older loses
+            assert table.heard_from(rec(1), now=10.0)
+            assert not table.heard_from(rec(3), now=10.0)  # unknown subject
+            table.advance_freshness(1, 20.0)
+            table.advance_freshness(1, 15.0)  # never backwards
+        assert obj.sorted_ids() == arr.sorted_ids()
+        assert obj.epoch == arr.epoch
+        assert obj.total_zones() == arr.total_zones()
+        for nid in (1, 2, 3):
+            assert obj.last_heard(nid) == arr.last_heard(nid)
+        assert obj.stale_ids(200.0, 150.0) == arr.stale_ids(200.0, 150.0)
+        for table in (obj, arr):
+            assert table.remove(2, now=30.0)
+            assert not table.remove(2)
+        assert obj.sorted_ids() == arr.sorted_ids()
+        assert obj.removals_epoch == arr.removals_epoch
+        assert obj.grace_zones(31.0, 100.0) == arr.grace_zones(31.0, 100.0)
+
+    def test_stale_gossip_cannot_insert(self):
+        obj, arr = self.pair()
+        for table in (obj, arr):
+            # heard_at far beyond the 150s freshness ttl
+            assert not table.upsert(rec(1), now=1000.0, heard_at=0.0)
+            assert 1 not in table
+
+    def test_snapshot_freezes_state(self):
+        obj, arr = self.pair()
+        for table in (obj, arr):
+            table.upsert(rec(1), now=1.0)
+            snap = table.snapshot()
+            table.upsert(rec(2), now=2.0)
+            table.touch(1, 50.0)
+            assert list(snap.records) == [1]
+            assert snap.heard == {1: 1.0}
+            fresh = table.snapshot()
+            assert fresh.heard == {1: 50.0, 2: 2.0}
+
+    def test_records_since_order_and_values(self):
+        obj, arr = self.pair()
+        for table in (obj, arr):
+            table.upsert(rec(1), now=1.0)
+            table.upsert(rec(2), now=2.0)
+            table.upsert(rec(1, version=1), now=3.0)
+        obj_delta = obj.records_since(1)
+        arr_delta = arr.records_since(1)
+        assert [r.node_id for r, _ in obj_delta] == [
+            r.node_id for r, _ in arr_delta
+        ]
+        assert [h for _, h in obj_delta] == [h for _, h in arr_delta]
+
+
+class TestEngineFlag:
+    def test_build_protocol_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            build_protocol(None, None, engine="simd")
+
+    def test_churn_config_validates_engine(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(engine="simd")
+        assert ChurnConfig(engine="array").engine == "array"
+
+    def test_faulty_config_validates_engine(self):
+        from repro.gridsim.config import MatchmakingConfig
+        from repro.workload.presets import TINY_LOAD
+
+        with pytest.raises(ValueError):
+            FaultyGridConfig(
+                matchmaking=MatchmakingConfig(preset=TINY_LOAD), engine="simd"
+            )
+
+
+class TestArrayGrowth:
+    """Regression: closures must survive the store's array reallocation."""
+
+    def test_version_sink_survives_row_growth(self):
+        import itertools
+
+        from repro.can.heartbeat import HeartbeatScheme, ProtocolConfig
+        from repro.can.overlay import CanOverlay
+        from repro.can.space import ResourceSpace
+
+        space = ResourceSpace(gpu_slots=0)
+        overlay = CanOverlay(space)
+        proto = build_protocol(
+            overlay, ProtocolConfig(scheme=HeartbeatScheme.VANILLA),
+            engine="array",
+        )
+        # tiny capacities: every few joins reallocate the row/slot arrays,
+        # so any closure holding a stale array diverges immediately
+        proto.store = EdgeStore(slot_capacity=2, row_capacity=2)
+        rng = np.random.default_rng(3)
+        ids = itertools.count()
+        proto.bootstrap(next(ids), space.clamp_point(rng.random(space.dims)))
+        for _ in range(11):
+            proto.join(
+                next(ids), space.clamp_point(rng.random(space.dims)), now=0.0
+            )
+        store = proto.store
+        assert store.n_rows == 12  # grew well past the initial capacity
+        assert any(n.own_version > 0 for n in proto.nodes.values())
+        for nid, node in proto.nodes.items():
+            assert store.own_version[store.row_of[nid]] == node.own_version
+
+
+class TestExchangeKernel:
+    """The bulk-advance mask semantics, via a tiny real protocol."""
+
+    def test_array_round_advances_freshness_like_object(self):
+        import itertools
+
+        from repro.can.heartbeat import HeartbeatScheme, ProtocolConfig
+        from repro.can.overlay import CanOverlay
+        from repro.can.space import ResourceSpace
+
+        protos = {}
+        for engine in ("object", "array"):
+            space = ResourceSpace(gpu_slots=0)
+            overlay = CanOverlay(space)
+            proto = build_protocol(
+                overlay, ProtocolConfig(scheme=HeartbeatScheme.VANILLA),
+                engine=engine,
+            )
+            rng = np.random.default_rng(7)
+            ids = itertools.count()
+            proto.bootstrap(next(ids), space.clamp_point(rng.random(space.dims)))
+            for _ in range(9):
+                proto.join(
+                    next(ids), space.clamp_point(rng.random(space.dims)), now=0.0
+                )
+            for r in range(1, 4):
+                proto.run_round(60.0 * r)
+            protos[engine] = proto
+        obj, arr = protos["object"], protos["array"]
+        assert {t.value: c for t, c in obj.stats.count.items()} == {
+            t.value: c for t, c in arr.stats.count.items()
+        }
+        for nid, node in obj.nodes.items():
+            anode = arr.nodes[nid]
+            for other in node.table.ids():
+                assert node.table.last_heard(other) == anode.table.last_heard(
+                    other
+                )

@@ -45,11 +45,31 @@ class TestMessageStats:
         rates = s.rates(now=60.0)
         assert rates.node_minutes == pytest.approx((10 * 30 + 20 * 30) / 60)
 
-    def test_empty_window_rejected(self):
+    def test_empty_window_returns_zero_rates(self):
         s = MessageStats()
         s.track_population(0.0, 5)
+        s.record(MessageType.HEARTBEAT, 100, copies=2)
+        rates = s.rates(now=0.0)
+        assert rates.messages_per_node_minute == 0.0
+        assert rates.kbytes_per_node_minute == 0.0
+        assert rates.node_minutes == 0.0
+        assert rates.window_seconds == 0.0
+        assert rates.by_type == {}
+
+    def test_record_bulk_matches_per_sender_records(self):
+        a, b = MessageStats(), MessageStats()
+        sizes = [(100, 3), (250, 2), (80, 0)]
+        for size, copies in sizes:
+            a.record(MessageType.HEARTBEAT, size, copies=copies)
+        b.record_bulk(
+            MessageType.HEARTBEAT,
+            sum(s * c for s, c in sizes),
+            sum(c for _, c in sizes),
+        )
+        assert a.count == b.count
+        assert a.bytes == b.bytes
         with pytest.raises(ValueError):
-            s.rates(now=0.0)
+            b.record_bulk(MessageType.HEARTBEAT, -1, 1)
 
     def test_reset_window(self):
         s = MessageStats()
