@@ -48,6 +48,35 @@ def test_bench_greedy_routing(benchmark):
     benchmark(route_all)
 
 
+def build_ring(n=300, gpu_slots=2, seed=0):
+    from repro.chord import ChordRing
+
+    space = ResourceSpace(gpu_slots=gpu_slots)
+    ring = ChordRing(space)
+    rng = np.random.default_rng(seed)
+    specs = generate_node_specs(n, gpu_slots, rng)
+    for spec in specs:
+        ring.add_node(
+            spec.node_id, space.node_coordinate(spec, float(rng.random()))
+        )
+    return ring, specs
+
+
+def test_bench_chord_routing(benchmark):
+    from repro.chord import chord_route
+
+    ring, _ = build_ring(300)
+    rng = np.random.default_rng(1)
+    starts = [int(s) for s in rng.integers(0, 300, 50)]
+    points = [tuple(rng.random(ring.space.dims) * 0.99) for _ in range(50)]
+
+    def route_all():
+        for start, p in zip(starts, points):
+            chord_route(ring, start, p)
+
+    benchmark(route_all)
+
+
 def test_bench_heartbeat_round_vanilla(benchmark):
     space = ResourceSpace(gpu_slots=2)
     overlay = CanOverlay(space)

@@ -1,14 +1,17 @@
 #!/usr/bin/env python
-"""Drive the substrates directly: the CAN, routing, and the DES kernel.
+"""Drive the substrate layer directly: registry, overlays, routing, kernel.
 
 The higher-level examples use `GridSimulation`, which wires everything for
 you.  This one goes a level down and uses the public pieces à la carte —
 useful when embedding the library in your own experiment harness:
 
-* hand-build a CAN from explicit machines,
-* inspect zones / neighbors / take-over designations,
-* greedy-route a job coordinate through the overlay,
-* run a few processes on the bare discrete-event kernel.
+* resolve substrates by name from the `repro.overlay` registry and build
+  the same hand-picked fleet on a CAN *and* on a Chord ring,
+* inspect neighbors / take-over designations through the
+  substrate-generic surface (plus each substrate's own extras),
+* route a job coordinate through each substrate's own routing rule,
+* run the job on the bare discrete-event kernel,
+* watch a graceful leave hand ownership off on either structure.
 
 Run:  python examples/custom_substrate.py
 """
@@ -16,12 +19,11 @@ Run:  python examples/custom_substrate.py
 import numpy as np
 
 from repro.analysis import format_table
-from repro.can.overlay import CanOverlay
-from repro.can.routing import route
 from repro.can.space import ResourceSpace
 from repro.model.ce import CESpec, CPU_SLOT, gpu_slot
 from repro.model.job import CERequirement, Job
 from repro.model.node import GridNode, NodeSpec
+from repro.overlay import available_substrates, get_substrate
 from repro.sim.core import Environment
 
 
@@ -44,36 +46,45 @@ def build_fleet():
     ]
 
 
-def main() -> None:
-    space = ResourceSpace(gpu_slots=1)  # 8-dimensional CAN
-    overlay = CanOverlay(space)
-    env = Environment()
-    rng = np.random.default_rng(11)
-
-    grid = {}
-    for spec in build_fleet():
-        coord = space.node_coordinate(spec, float(rng.random()))
-        overlay.add_node(spec.node_id, coord)
-        grid[spec.node_id] = GridNode(spec, env)
-    overlay.check_invariants()
-
+def show_overlay(name, overlay):
+    """The substrate-generic view: neighbors + take-over designations."""
     rows = []
     for nid in sorted(overlay.alive_ids()):
         rows.append(
             [
                 nid,
-                len(overlay.zones_of(nid)),
                 sorted(overlay.neighbors(nid)),
                 sorted(overlay.takeover_targets(nid)),
             ]
         )
     print(format_table(
-        ["node", "zones", "CAN neighbors", "take-over node(s)"],
+        ["node", "neighbors", "take-over node(s)"],
         rows,
-        title=f"A hand-built {space.dims}-dimensional CAN",
+        title=f"The fleet on the {name!r} substrate "
+              f"({overlay.space.dims} resource dimensions)",
     ))
+    # substrate-specific extras live behind the generic surface
+    if hasattr(overlay, "zones_of"):  # CAN: zone cover per node
+        zones = {nid: len(overlay.zones_of(nid)) for nid in overlay.alive_ids()}
+        print(f"CAN zone counts: {zones}")
+    if hasattr(overlay, "key_of"):  # Chord: ring order by key
+        order = sorted(overlay.alive_ids(), key=overlay.key_of)
+        print(f"Chord ring order: {' -> '.join(map(str, order))} -> wrap")
 
-    # Route a GPU job to its coordinate, then run it on the owner.
+
+def main() -> None:
+    print(f"registered substrates: {', '.join(available_substrates())}\n")
+    space = ResourceSpace(gpu_slots=1)  # 8 resource dimensions
+    env = Environment()
+    rng = np.random.default_rng(11)
+    fleet = build_fleet()
+    grid = {spec.node_id: GridNode(spec, env) for spec in fleet}
+    coords = {
+        spec.node_id: space.node_coordinate(spec, float(rng.random()))
+        for spec in fleet
+    }
+
+    # The same GPU job routes through every substrate's own rule.
     job = Job(
         requirements={
             gpu_slot(0): CERequirement(cores=128, clock=1.5),
@@ -82,10 +93,28 @@ def main() -> None:
         base_duration=3600.0,
     )
     target = space.job_coordinate(job, virtual=float(rng.random()))
-    path = route(overlay, start_id=0, point=target)
-    owner = path[-1]
-    print(f"\njob coordinate routed 0 -> {' -> '.join(map(str, path))}")
-    print(f"zone owner: node {owner}; capable: {grid[owner].capable(job)}")
+
+    owner = None
+    for name in ("can", "chord"):
+        substrate = get_substrate(name)
+        overlay = substrate.make_overlay(space)
+        for nid, coord in coords.items():
+            overlay.add_node(nid, coord)
+        overlay.check_invariants()
+        show_overlay(name, overlay)
+
+        path = substrate.route(overlay, 5, target)
+        owner = path[-1]
+        print(f"job coordinate routed {' -> '.join(map(str, path))} "
+              f"({len(path) - 1} hops); owner capable: "
+              f"{grid[owner].capable(job)}")
+
+        # A node leaves; ownership hands off (split history on the CAN,
+        # the successor arc on the ring).
+        for t in overlay.graceful_leave(owner):
+            print(f"node {t.from_node} left: ownership -> node {t.to_node}")
+        overlay.check_invariants()
+        print("overlay invariants hold after the leave\n")
 
     # Pick a capable node and execute the job on the DES kernel.
     runner = next(
@@ -99,13 +128,6 @@ def main() -> None:
         f"(dominant CE clock {runner.dominant_clock(job):g} -> "
         f"{job.finish_time - job.start_time:.0f}s wall)"
     )
-
-    # A node leaves; its zone hands off along the split history.
-    transfers = overlay.graceful_leave(owner) if overlay.is_alive(owner) else []
-    for t in transfers:
-        print(f"node {t.from_node} left: zone -> node {t.to_node}")
-    overlay.check_invariants()
-    print("overlay invariants hold after the leave")
 
 
 if __name__ == "__main__":

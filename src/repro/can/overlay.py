@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..overlay.base import SubstrateError
 from .geometry import Zone
 from .space import ResourceSpace
 from .split_tree import Leaf, SplitTree
@@ -25,7 +26,7 @@ from .split_tree import Leaf, SplitTree
 __all__ = ["CanOverlay", "JoinResult", "Transfer", "OverlayError"]
 
 
-class OverlayError(Exception):
+class OverlayError(SubstrateError):
     """Structural CAN violation (bad join, unknown member, ...)."""
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import List, Sequence, Tuple
 
+from ..overlay.base import SubstrateError
 from .geometry import Zone
 from .overlay import CanOverlay
 
@@ -27,9 +28,13 @@ __all__ = [
 ]
 
 
-class RoutingError(Exception):
+class RoutingError(SubstrateError):
     """Greedy routing failed to make progress (should not happen in a
-    consistent overlay; indicates a partition violation)."""
+    consistent overlay; indicates a partition violation).
+
+    A :class:`~repro.overlay.SubstrateError`, like Chord's
+    :class:`~repro.chord.ring.ChordError` — substrate-generic callers
+    catch the shared base instead of per-substrate types."""
 
 
 def zone_distance(zone: Zone, point: Sequence[float]) -> float:

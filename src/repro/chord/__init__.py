@@ -1,0 +1,41 @@
+"""Chord ring substrate: the CAN rival behind the overlay protocol.
+
+Layout mirrors :mod:`repro.can`:
+
+* :mod:`~repro.chord.keyspace` — locality-preserving (Morton) mapping from
+  resource-space points to ring keys
+* :mod:`~repro.chord.ring` — ground-truth ring membership and structure
+* :mod:`~repro.chord.routing` — O(log n) key routing (ground truth and on
+  believed state)
+* :mod:`~repro.chord.protocol` — heartbeat maintenance, failure detection,
+  take-over (the information plane)
+* :mod:`~repro.chord.range_query` — multi-attribute box queries over the
+  z-order key cover
+"""
+
+from .keyspace import COORD_BITS, RING_BITS, RING_SIZE, TIEBREAK_BITS, ChordKeyspace
+from .protocol import ChordMaintenanceProtocol, ChordProtocolNode
+from .range_query import KeyInterval, RangeQueryResult, box_key_intervals, range_query
+from .ring import ArcTransfer, ChordError, ChordJoinResult, ChordMember, ChordRing
+from .routing import chord_route, chord_route_on_beliefs
+
+__all__ = [
+    "COORD_BITS",
+    "RING_BITS",
+    "RING_SIZE",
+    "TIEBREAK_BITS",
+    "ChordKeyspace",
+    "ChordMaintenanceProtocol",
+    "ChordProtocolNode",
+    "KeyInterval",
+    "RangeQueryResult",
+    "box_key_intervals",
+    "range_query",
+    "ArcTransfer",
+    "ChordError",
+    "ChordJoinResult",
+    "ChordMember",
+    "ChordRing",
+    "chord_route",
+    "chord_route_on_beliefs",
+]

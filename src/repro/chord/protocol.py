@@ -1,0 +1,737 @@
+"""The Chord maintenance protocol: heartbeats, failures, take-overs, repair.
+
+The information-plane rival of :class:`~repro.can.heartbeat
+.HeartbeatProtocol`, exposing the same external surface (the
+:class:`~repro.overlay.MaintenanceProtocol` protocol) so the churn/fault
+simulations and invariant checkers drive either substrate identically.
+Ground truth (ring order, arc ownership) lives in
+:class:`~repro.chord.ring.ChordRing`; what each node *believes* lives here.
+
+A node's believed state is a set of known peers with last-heard evidence;
+its successor list, predecessor and finger table are *derived* from that
+set by ring order (the same computation a real Chord node performs over
+learned peer keys).  Peers that fall out of the derived structure are
+pruned — believed state stays O(successors + fingers), the ring analogue
+of CAN tables keeping only abutting records.
+
+The three heartbeat schemes mirror the paper's Section IV semantics:
+
+* **vanilla** — every heartbeat carries the sender's full peer list;
+  receivers repair their structure from third-party entries.
+* **compact** — the full list goes only to the sender's believed first
+  successor (its predetermined take-over node); everyone else gets a bare
+  heartbeat.  Mutual losses can no longer self-heal.
+* **adaptive** — compact, plus an on-demand full-update request broadcast
+  when the local detector notices a structural gap (successor list shorter
+  than configured; the ring analogue of CAN's zone-coverage check).
+
+Heartbeats are *round-trip probes*, as Chord's stabilize/fix-fingers RPCs
+are: a delivered heartbeat refreshes the receiver's evidence of the sender
+AND the sender's evidence of the target (the ack — tiny, untallied), so
+every node directly monitors its whole believed peer set and a dead peer
+goes silent to all its believers at once.  Third-party gossip carries the
+*source's* evidence timestamps, never fresher, so a gossip cycle cannot
+keep a dead node believed-alive.  A compact heartbeat also doubles as
+Chord's *notify*: hearing from an unknown peer inserts it into the
+receiver's known set, where derivation keeps it iff it improves the
+predecessor/successor structure.
+
+Failure handling follows the CAN two-phase model byte-for-byte in shape:
+silent crashes are noticed by believers' timeouts (detection latency is
+emergent), and after ``failure_timeout`` the ring executes the take-over —
+the vacated arc merges into the successor, which notifies the dead node's
+believers from the state it stored via full heartbeats.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import (
+    Callable,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from ..can.heartbeat import HeartbeatScheme, ProtocolConfig
+from ..can.messages import MessageType
+from ..can.stats import MessageStats
+from ..obs.profiling import NULL_PROFILER
+from ..sim.monitor import TimeSeries
+from .keyspace import RING_SIZE
+from .ring import ChordError, ChordRing
+
+__all__ = ["ChordMaintenanceProtocol", "ChordProtocolNode"]
+
+
+class DerivedStructure(NamedTuple):
+    """A node's believed ring structure, derived from its known peers."""
+
+    successors: Tuple[int, ...]
+    predecessor: Optional[int]
+    fingers: Tuple[int, ...]
+    peers: Tuple[int, ...]  # deduped successors + predecessor + fingers
+    peer_set: frozenset
+
+
+_EMPTY = DerivedStructure((), None, (), (), frozenset())
+
+
+class ChordProtocolNode:
+    """Per-node protocol state: known peers, stored peer lists, gap flags."""
+
+    __slots__ = (
+        "node_id",
+        "known",
+        "epoch",
+        "stored_state",
+        "gap_dirty",
+        "gap_attempts",
+        "_derived_cache",
+        "_derived_epoch",
+    )
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        #: believed peer -> last-heard time (direct messages stamp ``now``;
+        #: gossip carries the sender's evidence, never fresher)
+        self.known: Dict[int, float] = {}
+        #: bumped on every structural change of ``known`` (id added/removed)
+        self.epoch = 0
+        #: peer -> snapshot of its known map (from full heartbeats) — what
+        #: makes an informed take-over notification possible
+        self.stored_state: Dict[int, Dict[int, float]] = {}
+        self.gap_dirty = False
+        self.gap_attempts = 0
+        self._derived_cache: Optional[DerivedStructure] = None
+        self._derived_epoch = -1
+
+
+class ChordMaintenanceProtocol:
+    """Drives heartbeat rounds plus the join/leave/failure protocol."""
+
+    def __init__(
+        self,
+        overlay: ChordRing,
+        config: ProtocolConfig,
+        rng: Optional["np.random.Generator"] = None,
+        tracer: Optional[object] = None,
+        profiler: Optional[object] = None,
+        metrics: Optional[object] = None,
+    ):
+        self.overlay = overlay
+        self.config = config
+        self._rng = rng
+        self.tracer = tracer
+        self.metrics = metrics
+        self._detection_sketch = (
+            metrics.scope("hb").quantile_sketch("detection_latency")
+            if metrics is not None
+            else None
+        )
+        self.profiler = profiler
+        self.stats = MessageStats()
+        self.nodes: Dict[int, ChordProtocolNode] = {}
+        self.broken_links = TimeSeries("broken_links")
+        self._fail_times: Dict[int, float] = {}
+        self._pending_joins: List[Tuple[int, Tuple[float, ...]]] = []
+        self._round = 0
+        self._now = 0.0
+        #: append-only id -> ring key (node keys never change; believed
+        #: records outliving the member still resolve)
+        self._key: Dict[int, int] = {}
+        #: full-update replies in flight: (receiver id, responder id,
+        #: responder known snapshot) — delivered next round
+        self._reply_queue: List[Tuple[int, int, Dict[int, float]]] = []
+        self.events = {"joins": 0, "leaves": 0, "failures": 0, "claims": 0}
+        #: reverse index of stored_state: subject id -> holder ids
+        self._stored_in: Dict[int, Set[int]] = {}
+        self.on_failure_detected: Optional[Callable[[int, float], None]] = None
+        self._detected_failures: Set[int] = set()
+        self._loss_rate: float = 0.0
+        self._loss_rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------ accounting --
+    def _record(
+        self, now: float, mtype: MessageType, size_bytes: int, copies: int = 1
+    ) -> None:
+        self.stats.record(mtype, size_bytes, copies)
+        if self.tracer is not None and copies:
+            self.tracer.emit(
+                now, "msg.sent", mtype=mtype.value, bytes=size_bytes, copies=copies
+            )
+
+    # ------------------------------------------------------------------ derived state --
+    def key_of(self, node_id: int) -> int:
+        """Ring key of any id ever seen (members and former members)."""
+        return self._key[node_id]
+
+    def _derived(self, pnode: ChordProtocolNode) -> DerivedStructure:
+        """Believed structure from known peers, pruning irrelevant ids.
+
+        Pruning is stable: the derived structure over the kept peers equals
+        the structure over the full known set (every successor/predecessor/
+        finger is itself kept), so one recompute after a prune suffices.
+        """
+        if (
+            pnode._derived_cache is not None
+            and pnode._derived_epoch == pnode.epoch
+        ):
+            return pnode._derived_cache
+        while True:
+            derived = self._compute_derived(pnode)
+            drop = [n for n in pnode.known if n not in derived.peer_set]
+            if not drop:
+                pnode._derived_cache = derived
+                pnode._derived_epoch = pnode.epoch
+                return derived
+            for nid in drop:
+                del pnode.known[nid]
+            pnode.epoch += 1
+
+    def _compute_derived(self, pnode: ChordProtocolNode) -> DerivedStructure:
+        if not pnode.known:
+            return _EMPTY
+        key = self._key
+        ids = sorted(pnode.known, key=key.__getitem__)
+        keys = [key[nid] for nid in ids]
+        n = len(ids)
+        own_key = key[pnode.node_id]
+        pos = bisect_left(keys, own_key) % n
+        succ_count = min(self.overlay.successor_list_size, n)
+        successors = tuple(ids[(pos + j) % n] for j in range(succ_count))
+        predecessor = ids[(pos - 1) % n]
+        fingers: List[int] = []
+        seen: Set[int] = set(successors)
+        seen.add(predecessor)
+        for e in self.overlay.finger_exponents:
+            j = bisect_left(keys, (own_key + (1 << e)) % RING_SIZE) % n
+            fid = ids[j]
+            if fid not in seen:
+                seen.add(fid)
+                fingers.append(fid)
+        peers = successors + (predecessor,) + tuple(fingers)
+        peers = tuple(dict.fromkeys(peers))
+        return DerivedStructure(
+            successors, predecessor, tuple(fingers), peers, frozenset(peers)
+        )
+
+    def believed_peers(self, node_id: int) -> Tuple[int, ...]:
+        """The node's believed routing peers (successors, pred, fingers)."""
+        return self._derived(self.nodes[node_id]).peers
+
+    def believed_successors(self, node_id: int) -> Tuple[int, ...]:
+        return self._derived(self.nodes[node_id]).successors
+
+    # ------------------------------------------------------------------ belief edits --
+    def _hear(self, pnode: ChordProtocolNode, sender_id: int, now: float) -> None:
+        """A direct message from ``sender_id`` arrived: fresh evidence."""
+        if sender_id == pnode.node_id:
+            return
+        if sender_id in pnode.known:
+            pnode.known[sender_id] = now
+        else:
+            pnode.known[sender_id] = now
+            pnode.epoch += 1
+
+    def _gossip(
+        self, pnode: ChordProtocolNode, subject_id: int, heard_at: float
+    ) -> None:
+        """A third-party entry arrived: evidence capped at the source's."""
+        if subject_id == pnode.node_id:
+            return
+        existing = pnode.known.get(subject_id)
+        if existing is None:
+            pnode.known[subject_id] = heard_at
+            pnode.epoch += 1
+        elif heard_at > existing:
+            pnode.known[subject_id] = heard_at
+
+    def _forget(self, pnode: ChordProtocolNode, subject_id: int) -> bool:
+        if subject_id in pnode.known:
+            del pnode.known[subject_id]
+            pnode.epoch += 1
+            pnode.gap_dirty = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------ membership --
+    def _make_node(self, node_id: int) -> ChordProtocolNode:
+        node = ChordProtocolNode(node_id)
+        self.nodes[node_id] = node
+        self._key[node_id] = self.overlay.key_of(node_id)
+        return node
+
+    def _drop_node(self, node_id: int) -> None:
+        del self.nodes[node_id]
+
+    def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None:
+        """Insert the very first ring member."""
+        self.overlay.add_node(node_id, coord)
+        self._make_node(node_id)
+
+    def join(self, node_id: int, coord: Sequence[float], now: float) -> bool:
+        """A node joins; returns False when deferred (target arc in limbo)."""
+        coord = tuple(coord)
+        try:
+            result = self.overlay.add_node(node_id, coord)
+        except ChordError:
+            # The containing arc belongs to a failed-but-unclaimed node;
+            # retry once the take-over has happened.
+            self._pending_joins.append((node_id, coord))
+            if self.tracer is not None:
+                self.tracer.emit(now, "chord.join_deferred", node=node_id)
+            return False
+        self.events["joins"] += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                now, "chord.join", node=node_id, splitter=result.splitter_id
+            )
+        newcomer = self._make_node(node_id)
+        if result.splitter_id is None:
+            return True
+        splitter = self.nodes[result.splitter_id]
+
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+
+        # Join reply: the prior arc owner hands the newcomer its own entry
+        # plus its full peer list — the newcomer derives its structure from
+        # that (Chord's join-by-successor bootstrapping).
+        self._record(
+            now,
+            MessageType.JOIN_REPLY,
+            model.table_bytes_from_totals(
+                dims, len(splitter.known) + 1, len(splitter.known) + 1
+            ),
+        )
+        for nid, heard_at in splitter.known.items():
+            self._gossip(newcomer, nid, heard_at)
+        self._hear(newcomer, splitter.node_id, now)
+        newcomer.gap_dirty = True
+        self._hear(splitter, node_id, now)
+        splitter.gap_dirty = True
+
+        # Join notify: the splitter announces the newcomer to its believed
+        # peers so predecessors/fingers can adopt it.
+        targets = [
+            t for t in self._derived(splitter).peers if t != node_id
+        ]
+        self._record(
+            now, MessageType.JOIN_NOTIFY, model.notify_bytes(dims), len(targets)
+        )
+        for target_id in sorted(targets):
+            receiver = self._deliverable(target_id)
+            if receiver is None:
+                continue
+            self._hear(receiver, splitter.node_id, now)
+            self._gossip(receiver, node_id, now)
+        return True
+
+    def graceful_leave(self, node_id: int, now: float) -> None:
+        """Voluntary departure with explicit hand-off to the successor."""
+        leaver = self.nodes[node_id]
+        leaver_known = dict(leaver.known)
+        transfers = self.overlay.graceful_leave(node_id)
+        self.events["leaves"] += 1
+        if self.tracer is not None:
+            self.tracer.emit(now, "chord.leave", node=node_id)
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        handoff_size = model.table_bytes_from_totals(
+            dims, len(leaver_known) + 1, len(leaver_known) + 1
+        )
+        for transfer in transfers:
+            heir = self.nodes.get(transfer.to_node)
+            if heir is None or not self.overlay.is_alive(transfer.to_node):
+                continue  # the arc landed on a ghost; claimed later
+            self._record(now, MessageType.HANDOFF, handoff_size)
+            for nid, heard_at in leaver_known.items():
+                self._gossip(heir, nid, heard_at)
+            self._forget(heir, node_id)
+            heir.gap_dirty = True
+            self._notify_takeover(heir, node_id, leaver_known, now)
+        self._drop_node(node_id)
+        self._purge_stored(node_id)
+
+    def fail(self, node_id: int, now: float) -> None:
+        """Silent crash: no messages; believers find out via timeouts."""
+        self.overlay.fail(node_id)
+        self.events["failures"] += 1
+        self._fail_times[node_id] = now
+        if self.tracer is not None:
+            self.tracer.emit(now, "chord.fail", node=node_id)
+
+    def adopt_overlay(self, now: float = 0.0) -> None:
+        """Warm-start believed state for a ring built outside the protocol.
+
+        Every member gets a protocol node whose known set is seeded with
+        its ground-truth predecessor, successor list and fingers, freshly
+        heard at ``now`` — the state a long-converged protocol would be in.
+        """
+        for node_id in sorted(self.overlay.members):
+            if node_id not in self.nodes:
+                self._make_node(node_id)
+        for node_id, pnode in self.nodes.items():
+            seeds: Set[int] = set(self.overlay.successor_list(node_id))
+            pred = self.overlay.predecessor(node_id)
+            if pred is not None:
+                seeds.add(pred)
+            seeds.update(self.overlay.fingers(node_id))
+            seeds.discard(node_id)
+            for nid in sorted(seeds):
+                if nid in self.nodes:
+                    self._hear(pnode, nid, now)
+
+    def set_message_loss(
+        self, rate: float, rng: Optional["np.random.Generator"]
+    ) -> None:
+        """Drop each heartbeat delivery independently with ``rate``."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if rate > 0.0 and rng is None:
+            raise ValueError("message loss needs a seeded rng")
+        self._loss_rate = float(rate)
+        self._loss_rng = rng
+
+    # ------------------------------------------------------------------ the round --
+    def run_round(self, now: float) -> None:
+        """One heartbeat period: exchange, detect, claim, repair, measure."""
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        self._round += 1
+        self._now = now
+        self.stats.track_population(now, len(self.overlay.alive_ids()))
+        with prof.scope(f"hb.round.{self.config.scheme.value}"):
+            with prof.scope("hb.retry_joins"):
+                self._retry_pending_joins(now)
+            with prof.scope("hb.exchange"):
+                self._exchange_heartbeats(now)
+            with prof.scope("hb.deliver_replies"):
+                self._deliver_replies(now)
+            with prof.scope("hb.detect_failures"):
+                self._detect_failures(now)
+            with prof.scope("hb.claim_zones"):
+                self._claim_timed_out_zones(now)
+            if self.config.scheme is HeartbeatScheme.ADAPTIVE:
+                with prof.scope("hb.gap_checks"):
+                    self._adaptive_gap_checks(now)
+            with prof.scope("hb.count_broken_links"):
+                broken = self.count_broken_links()
+        self.broken_links.record(now, float(broken))
+        if self.tracer is not None:
+            self.tracer.emit(
+                now,
+                "hb.round",
+                round=self._round,
+                population=len(self.overlay.alive_ids()),
+                broken_links=broken,
+            )
+
+    # -- heartbeat exchange -------------------------------------------------
+    def _exchange_heartbeats(self, now: float) -> None:
+        vanilla = self.config.scheme is HeartbeatScheme.VANILLA
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        compact_size = model.heartbeat_bytes(dims, 1, None)
+        loss_rng = self._loss_rng if self._loss_rate > 0.0 else None
+        loss_rate = self._loss_rate
+        for node_id in sorted(self.nodes):
+            if not self.overlay.is_alive(node_id):
+                continue  # ghosts are silent
+            sender = self.nodes[node_id]
+            derived = self._derived(sender)
+            targets = sorted(derived.peers)
+            if not targets:
+                continue
+            full_size = model.heartbeat_bytes_from_totals(
+                dims, 1, len(sender.known), len(sender.known)
+            )
+            if vanilla:
+                full_targets: List[int] = targets
+                compact_targets: List[int] = []
+            else:
+                # full state only to the believed take-over node: the first
+                # believed successor, which would absorb this node's arc
+                tset = set(derived.successors[:1])
+                full_targets = [t for t in targets if t in tset]
+                compact_targets = [t for t in targets if t not in tset]
+            self._record(
+                now, MessageType.HEARTBEAT_FULL, full_size, len(full_targets)
+            )
+            self._record(
+                now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
+            )
+            for target_id in full_targets:
+                if loss_rng is not None and loss_rng.random() < loss_rate:
+                    continue  # dropped in flight (sender still paid bytes)
+                receiver = self._deliverable(target_id)
+                if receiver is None:
+                    continue  # dead target: no ack, sender's evidence ages
+                self._hear(receiver, node_id, now)
+                self._hear(sender, target_id, now)  # the (untallied) ack
+                receiver.stored_state[node_id] = dict(sender.known)
+                self._stored_in.setdefault(node_id, set()).add(target_id)
+                for nid, heard_at in sender.known.items():
+                    self._gossip(receiver, nid, heard_at)
+            for target_id in compact_targets:
+                if loss_rng is not None and loss_rng.random() < loss_rate:
+                    continue
+                receiver = self._deliverable(target_id)
+                if receiver is None:
+                    continue  # dead target: no ack, sender's evidence ages
+                # doubles as stabilize/notify: an unknown sender enters the
+                # receiver's known set and survives iff it improves the
+                # derived predecessor/successor structure
+                self._hear(receiver, node_id, now)
+                self._hear(sender, target_id, now)  # the (untallied) ack
+
+    def _deliver_replies(self, now: float) -> None:
+        """Deliver last round's full-update replies to their requesters."""
+        queue, self._reply_queue = self._reply_queue, []
+        for receiver_id, responder_id, snapshot in queue:
+            receiver = self._deliverable(receiver_id)
+            if receiver is None:
+                continue
+            self._hear(receiver, responder_id, now)
+            for nid, heard_at in snapshot.items():
+                self._gossip(receiver, nid, heard_at)
+            if not self._detects_gap(receiver_id):
+                if self.tracer is not None and (
+                    receiver.gap_attempts or receiver.gap_dirty
+                ):
+                    self.tracer.emit(now, "hb.gap_repaired", node=receiver_id)
+                receiver.gap_attempts = 0
+                receiver.gap_dirty = False
+
+    # -- failure detection & take-over --------------------------------------
+    def _detect_failures(self, now: float) -> None:
+        timeout = self.config.failure_timeout
+        for node_id in sorted(self.nodes):
+            if not self.overlay.is_alive(node_id):
+                continue
+            pnode = self.nodes[node_id]
+            stale = sorted(
+                nid
+                for nid, heard_at in pnode.known.items()
+                if now - heard_at > timeout
+            )
+            for stale_id in stale:
+                self._forget(pnode, stale_id)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now, "hb.failure_detected", node=node_id, suspect=stale_id
+                    )
+                if (
+                    stale_id in self._fail_times
+                    and stale_id not in self._detected_failures
+                ):
+                    self._detected_failures.add(stale_id)
+                    if self._detection_sketch is not None:
+                        self._detection_sketch.insert(
+                            now - self._fail_times[stale_id]
+                        )
+                    if self.on_failure_detected is not None:
+                        self.on_failure_detected(stale_id, now)
+
+    def _claim_timed_out_zones(self, now: float) -> None:
+        """Execute ring take-overs for detected failures.
+
+        What differs per scheme is how much the claimant *knows*: whether
+        it stored the dead node's peer list (from full heartbeats) and can
+        notify the vacated arc's believers.
+        """
+        timeout = self.config.failure_timeout
+        due = sorted(
+            nid for nid, t in self._fail_times.items() if now - t >= timeout
+        )
+        for dead_id in due:
+            if dead_id not in self._detected_failures:
+                # fallback detection at claim time, so the recovery layer
+                # never waits forever
+                if self._detection_sketch is not None:
+                    self._detection_sketch.insert(
+                        now - self._fail_times[dead_id]
+                    )
+                if self.on_failure_detected is not None:
+                    self.on_failure_detected(dead_id, now)
+            self._detected_failures.discard(dead_id)
+            transfers = self.overlay.claim_zones(dead_id)
+            self.events["claims"] += 1
+            for transfer in transfers:
+                claimant = self.nodes.get(transfer.to_node)
+                if claimant is None or not self.overlay.is_alive(
+                    transfer.to_node
+                ):
+                    continue  # the arc landed on a ghost; claimed later
+                known_state = claimant.stored_state.get(dead_id)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        now,
+                        "hb.takeover",
+                        claimant=claimant.node_id,
+                        dead=dead_id,
+                        informed=known_state is not None,
+                    )
+                self._forget(claimant, dead_id)
+                if known_state:
+                    for nid, heard_at in known_state.items():
+                        self._gossip(claimant, nid, heard_at)
+                self._notify_takeover(
+                    claimant, dead_id, known_state or {}, now
+                )
+            del self._fail_times[dead_id]
+            self._drop_node(dead_id)
+            self._purge_stored(dead_id)
+
+    def _notify_takeover(
+        self,
+        claimant: ChordProtocolNode,
+        vacated_id: int,
+        source_known: Dict[int, float],
+        now: float,
+    ) -> None:
+        """Announce the new arc ownership to everyone the claimant knows."""
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        candidates = set(self._derived(claimant).peers)
+        candidates.update(source_known)
+        candidates.discard(claimant.node_id)
+        candidates.discard(vacated_id)
+        targets = sorted(candidates)
+        self._record(
+            now, MessageType.TAKEOVER_NOTIFY, model.notify_bytes(dims), len(targets)
+        )
+        for target_id in targets:
+            receiver = self._deliverable(target_id)
+            if receiver is None:
+                continue
+            self._forget(receiver, vacated_id)
+            self._hear(receiver, claimant.node_id, now)
+
+    def _purge_stored(self, dead_id: int) -> None:
+        for holder_id in self._stored_in.pop(dead_id, ()):
+            holder = self.nodes.get(holder_id)
+            if holder is not None:
+                holder.stored_state.pop(dead_id, None)
+
+    # -- adaptive repair -----------------------------------------------------
+    def _adaptive_gap_checks(self, now: float) -> None:
+        model = self.config.size_model
+        dims = self.overlay.space.dims
+        periodic = (
+            self.config.periodic_gap_check_every
+            and self._round % self.config.periodic_gap_check_every == 0
+        )
+        candidates = sorted(
+            nid
+            for nid, pnode in self.nodes.items()
+            if pnode.gap_dirty or periodic
+        )
+        for node_id in candidates:
+            pnode = self.nodes.get(node_id)
+            if pnode is None or not self.overlay.is_alive(node_id):
+                continue
+            if self.config.gap_detection_prob < 1.0 and self._rng is not None:
+                if self._rng.random() >= self.config.gap_detection_prob:
+                    continue  # the local check missed the gap this round
+            # A dirty node just forgot a believed peer — that removal is
+            # local knowledge, so it requests repair even when its derived
+            # successor list has refilled to full length from farther ids
+            # (a substitution gap the length check cannot see).
+            if not pnode.gap_dirty and not self._detects_gap(node_id):
+                pnode.gap_attempts = 0
+                continue
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "hb.gap_found", node=node_id, attempt=pnode.gap_attempts + 1
+                )
+            targets = sorted(self._derived(pnode).peers)
+            self._record(
+                now,
+                MessageType.FULL_UPDATE_REQUEST,
+                model.request_bytes(),
+                len(targets),
+            )
+            for target_id in targets:
+                responder = self._deliverable(target_id)
+                if responder is None:
+                    continue
+                self._record(
+                    now,
+                    MessageType.FULL_UPDATE_REPLY,
+                    model.table_bytes_from_totals(
+                        dims, len(responder.known) + 1, len(responder.known) + 1
+                    ),
+                )
+                # The reply crosses the network; it lands next round.
+                self._reply_queue.append(
+                    (node_id, target_id, dict(responder.known))
+                )
+            pnode.gap_attempts += 1
+            pnode.gap_dirty = pnode.gap_attempts < self.config.gap_retry_rounds
+
+    def _detects_gap(self, node_id: int) -> bool:
+        """Would this node's local structure detector fire right now?
+
+        ``coverage`` mode is the honest local check: the believed successor
+        list is shorter than configured (a removal punched a hole the node
+        cannot refill from what it knows).  ``oracle`` mode compares
+        against ground truth (an idealised upper bound, as in CAN).
+        """
+        pnode = self.nodes[node_id]
+        if self.config.detection == "oracle":
+            return bool(self._missing_neighbors(node_id))
+        derived = self._derived(pnode)
+        if not derived.successors:
+            return True
+        return len(derived.successors) < self.overlay.successor_list_size
+
+    # -- metrics -------------------------------------------------------------
+    def _truth_neighbors(self, node_id: int) -> Set[int]:
+        """Ground-truth *correctness-critical* ring links: the alive members
+        of the successor list plus the predecessor.  Fingers are derived
+        performance state and excluded, the analogue of CAN counting only
+        abutting neighbors."""
+        overlay = self.overlay
+        truth: Set[int] = {
+            nid
+            for nid in overlay.successor_list(node_id)
+            if overlay.is_alive(nid)
+        }
+        pred = overlay.predecessor(node_id)
+        if pred is not None and overlay.is_alive(pred):
+            truth.add(pred)
+        return truth
+
+    def _missing_neighbors(self, node_id: int) -> Set[int]:
+        return self._truth_neighbors(node_id) - set(self.nodes[node_id].known)
+
+    def count_broken_links(self) -> int:
+        """Directed count of ground-truth ring links missing from beliefs."""
+        total = 0
+        for node_id, pnode in self.nodes.items():
+            if not self.overlay.is_alive(node_id):
+                continue
+            known = pnode.known
+            for nid in self._truth_neighbors(node_id):
+                if nid not in known:
+                    total += 1
+        return total
+
+    # -- plumbing ------------------------------------------------------------
+    def _deliverable(self, node_id: int) -> Optional[ChordProtocolNode]:
+        """Target of a message: None when it is dead or gone (message lost)."""
+        if not self.overlay.is_alive(node_id):
+            return None
+        return self.nodes.get(node_id)
+
+    def _retry_pending_joins(self, now: float) -> None:
+        pending, self._pending_joins = self._pending_joins, []
+        for node_id, coord in pending:
+            self.join(node_id, coord, now)

@@ -3,6 +3,15 @@
 Run with ``python -m repro.experiments <fig5|fig6|fig7|fig8|ablations|all>``.
 """
 
-from . import ablations, common, fig5, fig6, fig7, fig8, report
+from . import ablations, common, fig5, fig6, fig7, fig8, report, substrates
 
-__all__ = ["ablations", "common", "fig5", "fig6", "fig7", "fig8", "report"]
+__all__ = [
+    "ablations",
+    "common",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "report",
+    "substrates",
+]

@@ -9,6 +9,7 @@ the recorded paper-vs-measured comparison):
     python -m repro.experiments fig8          # maintenance cost scaling
     python -m repro.experiments ablations     # design-choice ablations
     python -m repro.experiments recovery      # detection/resubmission latency
+    python -m repro.experiments substrates    # CAN vs Chord head-to-head
     python -m repro.experiments report        # refresh EXPERIMENTS.md tables
     python -m repro.experiments all --fast    # everything, scaled down
 """
@@ -18,7 +19,7 @@ from __future__ import annotations
 import sys
 from typing import List, Sequence
 
-from . import ablations, fig5, fig6, fig7, fig8, recovery, report
+from . import ablations, fig5, fig6, fig7, fig8, recovery, report, substrates
 
 _TARGETS = {
     "fig5": fig5.main,
@@ -27,6 +28,7 @@ _TARGETS = {
     "fig8": fig8.main,
     "ablations": ablations.main,
     "recovery": recovery.main,
+    "substrates": substrates.main,
     "report": report.main,
 }
 

@@ -81,7 +81,19 @@ def experiment_argparser(description: str) -> argparse.ArgumentParser:
         action="store_true",
         help="skip writing the JSONL trace and run manifest",
     )
+    parser.add_argument(
+        "--substrate",
+        default="can",
+        choices=_substrate_choices(),
+        help="overlay substrate backing the run (default: can)",
+    )
     return parser
+
+
+def _substrate_choices() -> Tuple[str, ...]:
+    from ..overlay import available_substrates
+
+    return tuple(available_substrates())
 
 
 def recorder_for(args: argparse.Namespace, name: str) -> RunRecorder:

@@ -43,6 +43,7 @@ def run(
     interarrivals: Sequence[float] | None = None,
     schemes: Sequence[str] = SCHEMES,
     recorder: RunRecorder | None = None,
+    substrate: str = "can",
 ) -> Dict[float, Dict[str, MatchmakingResult]]:
     """All (inter-arrival, scheme) runs, keyed by inter-arrival then scheme."""
     if preset is None:
@@ -56,7 +57,11 @@ def run(
     for gap in interarrivals:
         out[gap] = {}
         for scheme in schemes:
-            cfg = MatchmakingConfig(preset.with_interarrival(gap), scheme=scheme)
+            cfg = MatchmakingConfig(
+                preset.with_interarrival(gap),
+                scheme=scheme,
+                substrate=substrate,
+            )
             label = f"fig5 arrival={gap:g}s {scheme}"
             if recorder is not None:
                 recorder.run_start(label, scheme=scheme, interarrival=gap)
@@ -116,10 +121,15 @@ def report(
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
     with recorder_for(args, "fig5") as rec:
-        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        results = run(
+            fast=args.fast,
+            seed=args.seed,
+            recorder=rec,
+            substrate=args.substrate,
+        )
         print(report(results, args.out))
         rec.close(
-            config={"fast": args.fast},
+            config={"fast": args.fast, "substrate": args.substrate},
             artifacts=["fig5_wait_time_cdf.csv"],
         )
     return 0

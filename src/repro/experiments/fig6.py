@@ -41,6 +41,7 @@ def run(
     ratios: Sequence[float] = CONSTRAINT_RATIOS,
     schemes: Sequence[str] = SCHEMES,
     recorder: RunRecorder | None = None,
+    substrate: str = "can",
 ) -> Dict[float, Dict[str, MatchmakingResult]]:
     """All (constraint ratio, scheme) runs."""
     if preset is None:
@@ -53,7 +54,9 @@ def run(
         out[ratio] = {}
         for scheme in schemes:
             cfg = MatchmakingConfig(
-                preset.with_constraint_ratio(ratio), scheme=scheme
+                preset.with_constraint_ratio(ratio),
+                scheme=scheme,
+                substrate=substrate,
             )
             label = f"fig6 ratio={int(ratio * 100)}% {scheme}"
             if recorder is not None:
@@ -116,10 +119,15 @@ def report(
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
     with recorder_for(args, "fig6") as rec:
-        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        results = run(
+            fast=args.fast,
+            seed=args.seed,
+            recorder=rec,
+            substrate=args.substrate,
+        )
         print(report(results, args.out))
         rec.close(
-            config={"fast": args.fast},
+            config={"fast": args.fast, "substrate": args.substrate},
             artifacts=["fig6_wait_time_cdf.csv"],
         )
     return 0

@@ -32,14 +32,18 @@ __all__ = ["run", "main", "fig7_config"]
 
 
 def fig7_config(
-    scheme: HeartbeatScheme, fast: bool = False, seed: int | None = None
+    scheme: HeartbeatScheme,
+    fast: bool = False,
+    seed: int | None = None,
+    substrate: str = "can",
 ) -> ChurnConfig:
     """The paper's high-churn setup (or its scaled-down variant)."""
     kwargs = dict(
-        gpu_slots=2,  # 11 CAN dimensions
+        gpu_slots=2,  # 11 dimensions
         scheme=scheme,
         heartbeat_period=60.0,
         leave_mode="fail",
+        substrate=substrate,
     )
     if seed is not None:
         kwargs["seed"] = seed
@@ -67,11 +71,12 @@ def run(
     fast: bool = False,
     seed: int | None = None,
     recorder: RunRecorder | None = None,
+    substrate: str = "can",
 ) -> Dict[str, ChurnResult]:
     tracer = recorder.tracer if recorder is not None else None
     out: Dict[str, ChurnResult] = {}
     for scheme in HeartbeatScheme:
-        cfg = fig7_config(scheme, fast=fast, seed=seed)
+        cfg = fig7_config(scheme, fast=fast, seed=seed, substrate=substrate)
         label = f"fig7:{scheme.value}"
         if recorder is not None:
             recorder.run_start(label, scheme=scheme.value)
@@ -143,10 +148,15 @@ def report(results: Dict[str, ChurnResult], out_dir: str) -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
     with recorder_for(args, "fig7") as rec:
-        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        results = run(
+            fast=args.fast,
+            seed=args.seed,
+            recorder=rec,
+            substrate=args.substrate,
+        )
         print(report(results, args.out))
         rec.close(
-            config={"fast": args.fast},
+            config={"fast": args.fast, "substrate": args.substrate},
             artifacts=["fig7_broken_links.csv"],
         )
     return 0

@@ -46,6 +46,7 @@ def fig8_config(
     fast: bool = False,
     seed: int | None = None,
     engine: str = "object",
+    substrate: str = "can",
 ) -> ChurnConfig:
     """Slow-churn configuration used for the cost measurements.
 
@@ -62,6 +63,7 @@ def fig8_config(
         leave_mode="fail",
         duration=1_200.0 if fast else 1_800.0,
         engine=engine,
+        substrate=substrate,
     )
     if seed is not None:
         kwargs["seed"] = seed
@@ -76,6 +78,7 @@ def run(
     recorder: RunRecorder | None = None,
     schemes: Sequence[HeartbeatScheme] = tuple(HeartbeatScheme),
     engine: str = "object",
+    substrate: str = "can",
 ) -> Dict[Tuple[str, int, int], ChurnResult]:
     """Results keyed by (scheme, nodes, dims)."""
     if node_sweep is None:
@@ -87,7 +90,7 @@ def run(
             for gpu_slots in gpu_slot_sweep:
                 cfg = fig8_config(
                     scheme, nodes, gpu_slots, fast=fast, seed=seed,
-                    engine=engine,
+                    engine=engine, substrate=substrate,
                 )
                 label = f"fig8 {scheme.value} n={nodes} d={cfg.dims}"
                 if recorder is not None:
@@ -219,10 +222,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             recorder=rec,
             schemes=schemes,
             engine=args.engine,
+            substrate=args.substrate,
         )
         print(report(results, args.out))
         rec.close(
-            config={"fast": args.fast, "engine": args.engine},
+            config={
+                "fast": args.fast,
+                "engine": args.engine,
+                "substrate": args.substrate,
+            },
             artifacts=["fig8_scalability.csv"],
         )
     return 0

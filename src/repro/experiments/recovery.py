@@ -49,7 +49,10 @@ MESSAGE_LOSS = 0.2
 
 
 def recovery_config(
-    scheme: HeartbeatScheme, fast: bool = False, seed: int | None = None
+    scheme: HeartbeatScheme,
+    fast: bool = False,
+    seed: int | None = None,
+    substrate: str = "can",
 ) -> FaultyGridConfig:
     """A churny grid with protocol-driven detection and lossy heartbeats."""
     if fast:
@@ -61,7 +64,7 @@ def recovery_config(
     if seed is not None:
         preset = preset.with_seed(seed)
     return FaultyGridConfig(
-        MatchmakingConfig(preset),
+        MatchmakingConfig(preset, substrate=substrate),
         mean_time_between_failures=300.0,
         mean_time_between_joins=300.0,
         detection_mode="protocol",
@@ -75,11 +78,12 @@ def run(
     fast: bool = False,
     seed: int | None = None,
     recorder: RunRecorder | None = None,
+    substrate: str = "can",
 ) -> Dict[str, FaultyGridResult]:
     tracer = recorder.tracer if recorder is not None else None
     out: Dict[str, FaultyGridResult] = {}
     for scheme in HeartbeatScheme:
-        cfg = recovery_config(scheme, fast=fast, seed=seed)
+        cfg = recovery_config(scheme, fast=fast, seed=seed, substrate=substrate)
         label = f"recovery:{scheme.value}"
         if recorder is not None:
             recorder.run_start(label, scheme=scheme.value)
@@ -173,10 +177,19 @@ def report(results: Dict[str, FaultyGridResult], out_dir: str) -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     args = experiment_argparser(__doc__.splitlines()[0]).parse_args(argv)
     with recorder_for(args, "recovery") as rec:
-        results = run(fast=args.fast, seed=args.seed, recorder=rec)
+        results = run(
+            fast=args.fast,
+            seed=args.seed,
+            recorder=rec,
+            substrate=args.substrate,
+        )
         print(report(results, args.out))
         rec.close(
-            config={"fast": args.fast, "message_loss": MESSAGE_LOSS},
+            config={
+                "fast": args.fast,
+                "message_loss": MESSAGE_LOSS,
+                "substrate": args.substrate,
+            },
             artifacts=["recovery_latencies.csv"],
         )
     return 0

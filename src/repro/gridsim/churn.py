@@ -14,10 +14,9 @@ import itertools
 from typing import Optional
 
 from ..can.heartbeat import ProtocolConfig
-from ..can.overlay import CanOverlay
-from ..can.soa import build_protocol
 from ..can.space import ResourceSpace
 from ..obs.registry import MetricsRegistry
+from ..overlay import get_substrate
 from ..sim.core import Environment
 from ..sim.rng import RngRegistry
 from ..workload.nodes import NodeDistribution, generate_node_specs
@@ -45,8 +44,9 @@ class ChurnSimulation:
         self.profiler = profiler
         self.env = Environment(tracer=tracer, profiler=profiler)
         self.space = ResourceSpace(gpu_slots=config.gpu_slots)
-        self.overlay = CanOverlay(self.space)
-        self.protocol = build_protocol(
+        self.substrate = get_substrate(config.substrate)
+        self.overlay = self.substrate.make_overlay(self.space)
+        self.protocol = self.substrate.make_protocol(
             self.overlay,
             ProtocolConfig(
                 scheme=config.scheme,
@@ -75,6 +75,7 @@ class ChurnSimulation:
         self._spec_rng = self.rngs.stream("nodes")
         self._virtual_rng = self.rngs.stream("virtual")
         self._event_rng = self.rngs.stream("events")
+        self._events_since_check = 0
 
     # -- node material ---------------------------------------------------------------
     def _new_coord(self):
@@ -141,15 +142,23 @@ class ChurnSimulation:
         self._population.update(
             self.env.now, float(len(self.overlay.alive_ids()))
         )
+        every = self.config.invariant_check_every
+        if every:
+            self._events_since_check += 1
+            if self._events_since_check >= every:
+                self._events_since_check = 0
+                self.check_invariants()
 
     def routing_success_rate(self, samples: int = 200) -> float:
-        """Fraction of believed-table greedy routes that deliver.
+        """Fraction of believed-state routes that deliver.
 
-        Call after :meth:`run`: it probes the *current* believed tables with
+        Call after :meth:`run`: it probes the *current* believed state with
         random (source, target) pairs, turning the broken-link count into
-        its operational consequence — undeliverable lookups.
+        its operational consequence — undeliverable lookups.  The routing
+        rule is the substrate's own (greedy zone descent for CAN, finger
+        hops for Chord).
         """
-        from ..can.routing import route_on_beliefs
+        route_on_beliefs = self.substrate.route_on_beliefs
 
         if samples <= 0:
             raise ValueError("samples must be positive")
@@ -191,4 +200,5 @@ class ChurnSimulation:
             rates=rates,
             events=dict(self.protocol.events),
             final_population=len(self.overlay.alive_ids()),
+            substrate=self.config.substrate,
         )

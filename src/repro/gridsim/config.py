@@ -33,10 +33,15 @@ class MatchmakingConfig:
     #: sketches instead of per-job arrays (million-job workloads); the
     #: default keeps the exact arrays so seeded goldens stay byte-identical
     stream_waits: bool = False
+    #: overlay substrate backing the matchmakers ("can", "chord", or any
+    #: :func:`repro.overlay.register_substrate` name); "central" ignores it
+    substrate: str = "can"
 
     def __post_init__(self) -> None:
         if self.scheme not in ("can-het", "can-hom", "central"):
             raise ValueError(f"unknown scheme {self.scheme!r}")
+        if not self.substrate:
+            raise ValueError("substrate must be a registered substrate name")
         if self.max_push_hops <= 0:
             raise ValueError("max_push_hops must be positive")
         if self.aggregation_warmup_rounds < 0:
@@ -74,14 +79,24 @@ class ChurnConfig:
     #: (fault injection; 0 keeps the loss-free deterministic path)
     message_loss: float = 0.0
     #: heartbeat engine: "object" (dict-per-node reference implementation)
-    #: or "array" (struct-of-arrays batched round kernels, same results)
+    #: or "array" (struct-of-arrays batched round kernels, same results);
+    #: which engines exist depends on the substrate
     engine: str = "object"
+    #: overlay substrate under churn ("can", "chord", or any registered name)
+    substrate: str = "can"
+    #: run the full ground-truth + ledger invariant checker every N churn
+    #: events mid-run (0 = only when the caller asks); catches structural
+    #: corruption at the event that introduced it instead of at the end
+    invariant_check_every: int = 0
 
     def __post_init__(self) -> None:
+        from ..overlay import get_substrate
+
         if self.initial_nodes < 2:
             raise ValueError("need at least two nodes")
-        if self.engine not in ("object", "array"):
-            raise ValueError(f"unknown heartbeat engine {self.engine!r}")
+        get_substrate(self.substrate).check_engine(self.engine)
+        if self.invariant_check_every < 0:
+            raise ValueError("invariant_check_every must be non-negative")
         if self.leave_mode not in ("fail", "graceful"):
             raise ValueError(f"unknown leave_mode {self.leave_mode!r}")
         if self.event_gap_mean <= 0 or self.heartbeat_period <= 0:

@@ -36,10 +36,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..can.heartbeat import HeartbeatProtocol, HeartbeatScheme, ProtocolConfig
-from ..can.overlay import OverlayError
-from ..can.soa import build_protocol
+from ..can.heartbeat import HeartbeatScheme, ProtocolConfig
 from ..model.job import Job
+from ..overlay import MaintenanceProtocol, SubstrateError, get_substrate
 from ..model.node import GridNode
 from ..sched.base import expanding_ring_search, fastest_dominant_clock
 from ..workload.jobs import JobDistribution
@@ -100,8 +99,7 @@ class FaultyGridConfig:
             raise ValueError("min_population_fraction must be in (0, 1]")
         if self.invariant_check_every < 0:
             raise ValueError("invariant_check_every must be non-negative")
-        if self.engine not in ("object", "array"):
-            raise ValueError(f"unknown heartbeat engine {self.engine!r}")
+        get_substrate(self.matchmaking.substrate).check_engine(self.engine)
         # failure_timeout_periods is validated by ProtocolConfig; construct
         # one eagerly so a bad value fails at config time, not mid-run
         if self.detection_mode == "protocol":
@@ -195,9 +193,10 @@ class FaultyGridSimulation(GridSimulation):
         self._resubmission_sketch = recovery_metrics.quantile_sketch(
             "resubmission_latency"
         )
-        self.protocol: Optional[HeartbeatProtocol] = None
+        self.protocol: Optional[MaintenanceProtocol] = None
         if config.detection_mode == "protocol":
-            self.protocol = build_protocol(
+            substrate = get_substrate(config.matchmaking.substrate)
+            self.protocol = substrate.make_protocol(
                 self.overlay,
                 ProtocolConfig(
                     scheme=config.heartbeat_scheme,
@@ -314,12 +313,15 @@ class FaultyGridSimulation(GridSimulation):
         )[0]
         coord = self.space.node_coordinate(spec, float(rng.random()))
         if self.protocol is not None:
+            # Substrate-agnostic probe: the owner of the newcomer's target
+            # region must be alive, otherwise the zone/arc is in limbo
+            # awaiting take-over and the join would be deferred.
             try:
-                leaf = self.overlay.locate_leaf(coord)
-            except OverlayError:
+                owner = self.overlay.locate_owner(coord)
+            except SubstrateError:
                 return
-            if not self.overlay.is_alive(leaf.owner):
-                return  # target zone in limbo awaiting take-over; skip
+            if not self.overlay.is_alive(owner):
+                return  # target region in limbo awaiting take-over; skip
             if not self.protocol.join(spec.node_id, coord, now=self.env.now):
                 # The only remaining failure is an unsplittable zone; the
                 # protocol queued a retry, but grid-level joins are
@@ -330,7 +332,7 @@ class FaultyGridSimulation(GridSimulation):
         else:
             try:
                 self.overlay.add_node(spec.node_id, coord)
-            except OverlayError:
+            except SubstrateError:
                 return  # coordinate collision or zone in limbo; skip
         node = GridNode(spec, self.env, contention=self.config.contention)
         self._wire_node(node)

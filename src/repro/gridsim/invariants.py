@@ -9,10 +9,18 @@ to run every few heartbeat rounds, and raise :class:`InvariantViolation`
 (an ``AssertionError`` subclass) with a description of the broken
 invariant.
 
+The checkers are substrate-agnostic: they consume only the
+:class:`~repro.overlay.OverlaySubstrate` /
+:class:`~repro.overlay.MaintenanceProtocol` surfaces, so the same audit
+runs over a CAN or a Chord ring.
+
 Checked for a :class:`~repro.gridsim.faulty.FaultyGridSimulation`:
 
-* the zone cover is a partition of the space with symmetric adjacency
-  (delegated to :meth:`CanOverlay.check_invariants`);
+* the substrate's own structural invariants, via the protocol-surface
+  ``overlay.check_invariants()`` — for CAN, the zone cover partitions the
+  space with symmetric adjacency; for Chord, the sorted ring is a
+  bijection whose arcs cover the full key circle and whose derived
+  successor/predecessor/finger structure matches an independent scan;
 * the grid-node population mirrors the overlay's alive set, and the
   population ledger balances (initial + joins - failures);
 * every non-finished job is exactly one of: not yet submitted, queued or

@@ -40,6 +40,7 @@ class MatchmakingResult:
     #: ``MatchmakingConfig.stream_waits``, where the arrays stay empty
     wait_sketch: Optional[QuantileSketch] = None
     turnaround_sketch: Optional[QuantileSketch] = None
+    substrate: str = "can"
 
     @property
     def started(self) -> int:
@@ -112,6 +113,7 @@ class ChurnResult:
     rates: RateSummary
     events: Dict[str, int]
     final_population: int
+    substrate: str = "can"
 
     @property
     def final_broken_links(self) -> float:

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..can.aggregation import AggregationEngine
-from ..can.overlay import CanOverlay
 from ..can.space import ResourceSpace
+from ..overlay import OverlaySubstrate, create_overlay
 from ..model.job import Job
 from ..model.node import GridNode, NodeSpec
 from ..sched.base import Matchmaker
@@ -38,7 +38,7 @@ __all__ = ["GridSimulation", "build_grid", "build_matchmaker"]
 
 def build_matchmaker(
     config: MatchmakingConfig,
-    overlay: CanOverlay,
+    overlay: OverlaySubstrate,
     grid_nodes: Dict[int, GridNode],
     aggregation: AggregationEngine,
     rng: np.random.Generator,
@@ -80,13 +80,15 @@ def build_grid(
     config: MatchmakingConfig,
     use_virtual_randomness: bool = True,
 ) -> tuple:
-    """Construct GridNodes and a CAN overlay from node specs.
+    """Construct GridNodes and the configured overlay from node specs.
 
     Returns ``(overlay, grid_nodes)``.  Nodes join sequentially, each with a
     random virtual coordinate (or a degenerate near-constant one when the
-    virtual-dimension ablation is off).
+    virtual-dimension ablation is off).  ``config.substrate`` picks the
+    overlay implementation; the matchmakers only touch the substrate
+    protocol surface, so they run unchanged on any of them.
     """
-    overlay = CanOverlay(space)
+    overlay = create_overlay(config.substrate, space)
     grid_nodes: Dict[int, GridNode] = {}
     for spec in specs:
         if use_virtual_randomness:
@@ -290,4 +292,5 @@ class GridSimulation:
             abandoned_jobs=len(self.abandoned_ids),
             wait_sketch=self._wait_sketch,
             turnaround_sketch=self._turnaround_sketch,
+            substrate=self.config.substrate,
         )

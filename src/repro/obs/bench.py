@@ -146,6 +146,33 @@ def _micro_route(routes: int, nodes: int, seed: int):
     return fn
 
 
+def _micro_chord_route(routes: int, nodes: int, seed: int):
+    """Finger-table key routing on the Chord ring (micro.route's rival)."""
+    from ..can.space import ResourceSpace
+    from ..chord import ChordRing, chord_route
+    from ..workload.nodes import generate_node_specs
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        space = ResourceSpace(gpu_slots=2)
+        ring = ChordRing(space)
+        rng = np.random.default_rng(seed)
+        for spec in generate_node_specs(nodes, 2, rng):
+            ring.add_node(
+                spec.node_id, space.node_coordinate(spec, float(rng.random()))
+            )
+        starts = [int(r) for r in rng.integers(0, nodes, routes)]
+        points = [tuple(rng.random(space.dims) * 0.998) for _ in range(routes)]
+        hops = 0
+        t0 = CLOCK()
+        for start, point in zip(starts, points):
+            hops += len(chord_route(ring, start, point, profiler=profiler)) - 1
+        metrics = _micro_metrics(routes, CLOCK() - t0)
+        metrics["mean_hops"] = round(hops / routes, 3)
+        return metrics
+
+    return fn
+
+
 def _build_protocol(scheme, nodes: int, seed: int, profiler=None, engine="object"):
     """A populated heartbeat protocol on a fresh overlay (shared harness)."""
     from ..can.heartbeat import ProtocolConfig
@@ -491,6 +518,27 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
                 _churn_run(scheme, seed, **scale),
             )
         )
+    # substrate rival: the same fig7/fig8 shapes on the Chord ring, for
+    # the CAN-vs-Chord maintenance-cost comparison in every BENCH point
+    for scheme in hb_schemes:
+        rows.append(
+            (
+                f"fig7.chord.{scheme.value}",
+                "fig7-chord",
+                "sim",
+                _churn_run(scheme, seed, substrate="chord", **churn),
+            )
+        )
+    rows.append(
+        (
+            "fig8.chord.adaptive",
+            "fig8-chord",
+            "sim",
+            _churn_run(
+                HeartbeatScheme.ADAPTIVE, seed, substrate="chord", **scale
+            ),
+        )
+    )
     # fig8 at scale (full mode only): the object/array engine pair at 1k
     # nodes pins the speedup, and the array engine carries the 10k/100k
     # populations the object engine cannot reach in reasonable time.  The
@@ -552,6 +600,12 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
     overlay_nodes = 150 if smoke else 300
     rows += [
         ("micro.route", "micro", "micro", _micro_route(routes, overlay_nodes, seed)),
+        (
+            "micro.chord_route",
+            "micro",
+            "micro",
+            _micro_chord_route(routes, overlay_nodes, seed),
+        ),
         *(
             (
                 f"micro.heartbeat_round.{s.value}",

@@ -1,0 +1,21 @@
+"""Pluggable overlay substrates (CAN, Chord) behind one protocol surface."""
+
+from .base import MaintenanceProtocol, OverlaySubstrate, SubstrateError
+from .registry import (
+    SubstrateDescriptor,
+    available_substrates,
+    create_overlay,
+    get_substrate,
+    register_substrate,
+)
+
+__all__ = [
+    "OverlaySubstrate",
+    "MaintenanceProtocol",
+    "SubstrateError",
+    "SubstrateDescriptor",
+    "register_substrate",
+    "get_substrate",
+    "available_substrates",
+    "create_overlay",
+]

@@ -1,0 +1,197 @@
+"""The overlay-substrate protocol: what a DHT must provide to host the grid.
+
+The matchmakers (:mod:`repro.sched`), the aggregation engine, and the
+churn/fault simulations were written against the concrete surface of
+:class:`~repro.can.overlay.CanOverlay`.  This module names that surface as
+an abstract protocol so a rival substrate (``repro.chord``) can slot in
+underneath them unchanged.  Two protocols are defined:
+
+* :class:`OverlaySubstrate` — the *ground-truth* structure: membership,
+  coordinates, ownership of the resource space, neighbor queries, and the
+  join/leave/fail/claim mutation surface.  CAN's "zone" vocabulary
+  generalises: ``locate_owner`` maps a point of the
+  :class:`~repro.can.space.ResourceSpace` to its owning node (CAN: the
+  containing leaf's owner; Chord: the successor of the point's ring key),
+  ``claim_zones`` executes the predetermined take-over of a dead member's
+  region (CAN: split-history zone transfers; Chord: arc absorption by the
+  successor), and ``check_invariants`` audits full coverage of the space
+  (CAN: the zone partition; Chord: full-ring key coverage).
+
+* :class:`MaintenanceProtocol` — the *information* plane: the per-node
+  believed state driven by heartbeat rounds, with failure detection,
+  take-over execution, message accounting and the broken-link time series.
+  Substrates ship their own implementation (beliefs are substrate-shaped:
+  neighbor-zone tables for CAN, successor lists and fingers for Chord) but
+  expose the same external surface, so :class:`~repro.gridsim.churn
+  .ChurnSimulation`, :class:`~repro.gridsim.faulty.FaultyGridSimulation`
+  and the invariant checkers drive either one identically.
+
+Both are :func:`typing.runtime_checkable` structural protocols — existing
+classes conform without inheriting from anything here.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
+
+__all__ = ["OverlaySubstrate", "MaintenanceProtocol", "SubstrateError"]
+
+
+class SubstrateError(Exception):
+    """Structural overlay violation (bad join, unknown member, ...).
+
+    Substrate implementations raise their own subclass
+    (:class:`~repro.can.overlay.OverlayError`,
+    :class:`~repro.chord.ring.ChordError`); substrate-generic callers
+    catch this base.
+    """
+
+
+@runtime_checkable
+class OverlaySubstrate(Protocol):
+    """Ground-truth overlay structure over a :class:`ResourceSpace`.
+
+    Implementations: :class:`~repro.can.overlay.CanOverlay`,
+    :class:`~repro.chord.ring.ChordRing`.
+    """
+
+    #: the resource space whose points the overlay partitions
+    space: Any
+    #: bumped on every structural change; consumers key caches off it
+    topology_version: int
+    #: node_id -> member state; ``len`` counts dead-but-unclaimed too
+    members: Dict[int, Any]
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of members, dead-but-unclaimed included."""
+        ...
+
+    def alive_ids(self) -> List[int]:
+        """Ids of live members (insertion order is implementation-defined)."""
+        ...
+
+    def dead_ids(self) -> Set[int]:
+        """Members still holding territory but no longer alive."""
+        ...
+
+    def is_alive(self, node_id: int) -> bool: ...
+
+    def coordinate(self, node_id: int) -> Tuple[float, ...]:
+        """The member's resource-space coordinate."""
+        ...
+
+    def neighbors(self, node_id: int) -> Set[int]:
+        """Ground-truth routing neighbors (liveness not filtered)."""
+        ...
+
+    def neighbors_along(self, node_id: int, dim: int, direction: int) -> Set[int]:
+        """Neighbors in the +1/-1 direction along resource dimension ``dim``.
+
+        This is the query the directional aggregation flow and the
+        matchmakers' push scopes are built on.
+        """
+        ...
+
+    def locate_owner(self, point: Sequence[float]) -> int:
+        """The member owning ``point`` (dead owners included: ghost regions
+        remain registered to them until claimed)."""
+        ...
+
+    def takeover_targets(
+        self, node_id: int, dead: Optional[Set[int]] = None
+    ) -> Set[int]:
+        """Who would absorb this node's territory if it vanished now."""
+        ...
+
+    # -- mutation -----------------------------------------------------------
+    def add_node(self, node_id: int, coord: Sequence[float]) -> Any:
+        """Bootstrap or join; returns a substrate-specific join summary.
+
+        Raises :class:`SubstrateError` when the join cannot proceed (e.g.
+        the target region belongs to a failed-but-unclaimed member).
+        """
+        ...
+
+    def graceful_leave(self, node_id: int) -> List[Any]:
+        """Voluntary departure; territory hands off immediately.
+
+        Returns the list of transfers (substrate-specific records exposing
+        at least ``from_node`` and ``to_node``).
+        """
+        ...
+
+    def fail(self, node_id: int) -> None:
+        """Silent crash: territory lingers with the ghost until claimed."""
+        ...
+
+    def claim_zones(self, dead_id: int) -> List[Any]:
+        """Execute the predetermined take-over for a detected failure."""
+        ...
+
+    # -- audit --------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` unless the overlay fully and
+        consistently covers the resource space (CAN: zone partition with
+        symmetric adjacency; Chord: sorted ring with full key coverage)."""
+        ...
+
+
+@runtime_checkable
+class MaintenanceProtocol(Protocol):
+    """The believed-state machinery a substrate runs under churn.
+
+    Implementations: :class:`~repro.can.heartbeat.HeartbeatProtocol` (and
+    its array-engine subclass), :class:`~repro.chord.protocol
+    .ChordMaintenanceProtocol`.  The churn/fault simulations and
+    :mod:`repro.gridsim.invariants` use exactly this surface.
+    """
+
+    overlay: OverlaySubstrate
+    #: per-message-type counts and bytes (drives the fig8 rates)
+    stats: Any
+    #: believed ground-truth divergence over time (drives fig7)
+    broken_links: Any
+    #: node_id -> per-node protocol state, one entry per overlay member
+    nodes: Dict[int, Any]
+    #: joins/leaves/failures/claims counters (the membership ledger)
+    events: Dict[str, int]
+    #: crash time per failed-but-unclaimed member
+    _fail_times: Dict[int, float]
+    #: fired once per failed node when the protocol first notices the crash
+    on_failure_detected: Optional[Callable[[int, float], None]]
+
+    def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None: ...
+
+    def join(self, node_id: int, coord: Sequence[float], now: float) -> bool:
+        """Returns False when the join is deferred (target region in limbo)."""
+        ...
+
+    def graceful_leave(self, node_id: int, now: float) -> None: ...
+
+    def fail(self, node_id: int, now: float) -> None: ...
+
+    def run_round(self, now: float) -> None:
+        """One heartbeat period: exchange, detect, claim, repair, measure."""
+        ...
+
+    def adopt_overlay(self, now: float = 0.0) -> None:
+        """Warm-start believed state for an overlay built outside the
+        protocol (grid bootstrap paths skip join-message accounting)."""
+        ...
+
+    def set_message_loss(self, rate: float, rng: Any) -> None: ...
+
+    def count_broken_links(self) -> int: ...

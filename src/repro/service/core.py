@@ -30,9 +30,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..can.aggregation import AggregationEngine
-from ..can.heartbeat import HeartbeatProtocol, HeartbeatScheme, ProtocolConfig
-from ..can.overlay import CanOverlay
+from ..can.heartbeat import HeartbeatScheme, ProtocolConfig
 from ..can.space import ResourceSpace
+from ..overlay import MaintenanceProtocol, get_substrate
 from ..gridsim.config import MatchmakingConfig
 from ..gridsim.recovery import RecoveryTracker, RetryPolicy
 from ..gridsim.simulation import build_matchmaker
@@ -71,6 +71,9 @@ class ServiceConfig:
     aggregation_warmup_rounds: int = 5
     stopping_factor: float = 4.0
     max_push_hops: int = 64
+    #: overlay substrate backing the service ("can", "chord", or any
+    #: registered name); matchmaker and heartbeat run on either
+    substrate: str = "can"
 
     def matchmaking(self) -> MatchmakingConfig:
         return MatchmakingConfig(
@@ -78,6 +81,7 @@ class ServiceConfig:
             scheme=self.scheme,
             stopping_factor=self.stopping_factor,
             max_push_hops=self.max_push_hops,
+            substrate=self.substrate,
         )
 
 
@@ -101,7 +105,8 @@ class GridService:
         preset = config.preset
         self.rngs = RngRegistry(preset.seed)
         self.space = ResourceSpace(gpu_slots=preset.gpu_slots)
-        self.overlay = CanOverlay(self.space)
+        self._substrate = get_substrate(config.substrate)
+        self.overlay = self._substrate.make_overlay(self.space)
         self.grid_nodes: Dict[int, GridNode] = {}
         mm_config = config.matchmaking()
         virtual_rng = self.rngs.stream("virtual")
@@ -137,9 +142,9 @@ class GridService:
         #: submit-side attempt counts for jobs that were never lost to a
         #: crash (the tracker only ledgers crash recoveries)
         self._submit_attempts: Dict[int, int] = {}
-        self.protocol: Optional[HeartbeatProtocol] = None
+        self.protocol: Optional[MaintenanceProtocol] = None
         if config.heartbeat:
-            self.protocol = HeartbeatProtocol(
+            self.protocol = self._substrate.make_protocol(
                 self.overlay,
                 ProtocolConfig(
                     scheme=config.heartbeat_scheme,

@@ -1,0 +1,42 @@
+"""CAN behind the substrate interface reproduces its goldens byte-identically.
+
+The registry refactor moved every simulation onto
+:func:`repro.overlay.get_substrate` factories.  This pin asserts the move
+is observationally invisible for CAN: a seeded fig7-shaped churn run built
+through the interface produces the exact committed accounting fingerprint —
+message counts, byte totals, events, population, broken-links series and
+the JSONL trace hash.
+"""
+
+import json
+
+import pytest
+
+from repro.overlay import get_substrate
+from tests.can.hb_golden import GOLDEN_PATH, SCHEMES, run_case
+
+with open(GOLDEN_PATH) as fh:
+    GOLDENS = json.load(fh)
+
+
+def test_churn_simulation_resolves_can_through_registry():
+    from repro.gridsim import ChurnConfig, ChurnSimulation
+
+    sim = ChurnSimulation(ChurnConfig(initial_nodes=8, gpu_slots=1))
+    descriptor = get_substrate("can")
+    assert sim.substrate is descriptor
+    assert isinstance(sim.overlay, type(descriptor.make_overlay(sim.space)))
+
+
+@pytest.mark.parametrize(
+    "scheme", SCHEMES, ids=[s.value for s in SCHEMES]
+)
+def test_fig7_fingerprint_survives_the_substrate_interface(scheme):
+    """run_case drives ChurnSimulation, which now constructs its overlay and
+    protocol through the substrate registry — the fig7 golden must not move
+    by a single byte."""
+    got = run_case("fig7", scheme)
+    want = GOLDENS[f"fig7.{scheme.value}"]
+    for field in want:
+        assert got[field] == want[field], f"{field} drifted through the interface"
+    assert got == want
