@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..net import IDENTITY, NetworkModel, NetworkSpec
 from ..obs.profiling import NULL_PROFILER
 from ..sim.monitor import TimeSeries
 from .coverage import has_gap
@@ -255,10 +256,21 @@ class HeartbeatProtocol:
         self.on_failure_detected: Optional[Callable[[int, float], None]] = None
         #: failed ids already reported through on_failure_detected
         self._detected_failures: Set[int] = set()
-        #: heartbeat delivery loss probability (fault injection); at the
-        #: default 0.0 no RNG is consulted, keeping seeded runs unchanged
-        self._loss_rate: float = 0.0
-        self._loss_rng: Optional[np.random.Generator] = None
+        #: the network channel every unreliable send traverses (loss,
+        #: partitions, flapping links, latency).  The IDENTITY default is
+        #: bypassed entirely — no RNG draws — keeping seeded runs unchanged.
+        self.net: NetworkModel = IDENTITY
+        #: heartbeats in flight with super-period latency, as
+        #: (arrival, kind, receiver id, sender record, snapshot|None,
+        #: send time); drained by the first round at/after arrival
+        self._deferred: List[
+            Tuple[float, str, int, BeliefRecord, Optional[TableSnapshot], float]
+        ] = []
+        self._net_sketch = (
+            metrics.scope("net").quantile_sketch("delivery_latency")
+            if metrics is not None
+            else None
+        )
 
     def _record(
         self, now: float, mtype: MessageType, size_bytes: int, copies: int = 1
@@ -355,7 +367,13 @@ class HeartbeatProtocol:
             now, MessageType.JOIN_NOTIFY, model.notify_bytes(dims), len(notify_ids)
         )
         splitter_record = splitter.own_record(self.overlay)
+        net_active = not self.net.is_identity
         for target_id in notify_ids:
+            if (
+                net_active
+                and self._transmit(splitter.node_id, target_id, now) is None
+            ):
+                continue  # notify lost; heartbeats converge the neighborhood
             target = self._deliverable(target_id)
             if target is None:
                 continue
@@ -414,23 +432,53 @@ class HeartbeatProtocol:
                     pnode.table.upsert(other.own_record(self.overlay), now)
         self._nodes_order = None
 
+    def set_network(self, model: Optional[NetworkModel]) -> None:
+        """Install the channel every unreliable send traverses.
+
+        Heartbeats (full and compact), join/take-over notifies, and the
+        adaptive scheme's full-update requests and replies all go through
+        ``model.transmit``.  Connection-oriented handshakes stay reliable
+        by design: the join reply and the graceful-leave hand-off model
+        acknowledged transfers, not fire-and-forget datagrams.  ``None``
+        (or the identity model) restores the ideal channel with no RNG
+        draws at all.
+        """
+        self.net = IDENTITY if model is None else model
+
     def set_message_loss(
         self, rate: float, rng: Optional["np.random.Generator"]
     ) -> None:
-        """Drop each heartbeat delivery independently with ``rate``.
+        """Drop each unreliable delivery independently with ``rate``.
 
-        Fault injection for the recovery experiments: loss starves
-        believed tables of freshness evidence, so failure detection (and
-        the repair each scheme can or cannot perform) degrades
-        differently per scheme.  ``rate == 0`` restores the loss-free
-        path with no RNG draws at all.
+        Compatibility wrapper over :meth:`set_network`: fault injection
+        for the recovery experiments, where loss starves believed tables
+        of freshness evidence so detection (and the repair each scheme
+        can or cannot perform) degrades differently per scheme.
+        ``rate == 0`` restores the loss-free path with no RNG draws;
+        ``rate == 1`` is a total blackout (every send dropped).
         """
-        if not 0.0 <= rate < 1.0:
-            raise ValueError("loss rate must be in [0, 1)")
-        if rate > 0.0 and rng is None:
-            raise ValueError("message loss needs a seeded rng")
-        self._loss_rate = float(rate)
-        self._loss_rng = rng
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        if rate == 0.0:
+            self.net = IDENTITY
+        else:
+            self.net = NetworkModel(NetworkSpec(loss=rate), rng)
+
+    def _transmit(self, src: int, dst: int, now: float) -> Optional[float]:
+        """Send one message through the channel: None = dropped in flight.
+
+        The obs wiring lives here so every send path reports identically:
+        drops emit a ``net.drop`` trace event, deliveries stream their
+        one-way latency into the ``net.delivery_latency`` sketch.
+        """
+        lat = self.net.transmit(src, dst, now)
+        if lat is None:
+            if self.tracer is not None:
+                self.tracer.emit(now, "net.drop", src=src, dst=dst)
+            return None
+        if self._net_sketch is not None:
+            self._net_sketch.insert(lat)
+        return lat
 
     # ------------------------------------------------------------------ the round --
     def run_round(self, now: float) -> None:
@@ -478,8 +526,7 @@ class HeartbeatProtocol:
         # exchange, so target resolution is shared across all senders
         deliverable: Dict[int, Optional[ProtocolNode]] = {}
         miss = _MISS
-        loss_rng = self._loss_rng if self._loss_rate > 0.0 else None
-        loss_rate = self._loss_rate
+        net = self.net if not self.net.is_identity else None
         for node_id in self._sorted_node_ids():
             if not self.overlay.is_alive(node_id):
                 continue  # ghosts are silent
@@ -489,8 +536,7 @@ class HeartbeatProtocol:
                 vanilla,
                 now,
                 deliverable,
-                loss_rng,
-                loss_rate,
+                net,
             )
 
     def _exchange_one_sender(
@@ -500,8 +546,7 @@ class HeartbeatProtocol:
         vanilla: bool,
         now: float,
         deliverable: Dict[int, Optional[ProtocolNode]],
-        loss_rng: Optional["np.random.Generator"],
-        loss_rate: float,
+        net: Optional[NetworkModel],
     ) -> None:
         """Send one node's heartbeats for this round (account + deliver).
 
@@ -528,9 +573,20 @@ class HeartbeatProtocol:
             now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
         )
         miss = _MISS
+        period = self.config.period
         for target_id in full_targets:
-            if loss_rng is not None and loss_rng.random() < loss_rate:
-                continue  # dropped in flight (sender still paid the bytes)
+            if net is not None:
+                lat = self._transmit(node_id, target_id, now)
+                if lat is None:
+                    continue  # dropped in flight (sender still paid bytes)
+                if lat > period:
+                    # slower than the round granularity: lands later, with
+                    # the evidence it carried at send time
+                    self._deferred.append(
+                        (now + lat, "full", target_id, own,
+                         sender.table.snapshot(), now)
+                    )
+                    continue
             receiver = deliverable.get(target_id, miss)
             if receiver is miss:
                 receiver = self._deliverable(target_id)
@@ -541,8 +597,15 @@ class HeartbeatProtocol:
                 self._receive_record(receiver, own, now, heard=True)
             self._merge_full_table(receiver, sender, now)
         for target_id in compact_targets:
-            if loss_rng is not None and loss_rng.random() < loss_rate:
-                continue
+            if net is not None:
+                lat = self._transmit(node_id, target_id, now)
+                if lat is None:
+                    continue
+                if lat > period:
+                    self._deferred.append(
+                        (now + lat, "compact", target_id, own, None, now)
+                    )
+                    continue
             receiver = deliverable.get(target_id, miss)
             if receiver is miss:
                 receiver = self._deliverable(target_id)
@@ -836,7 +899,13 @@ class HeartbeatProtocol:
             now, MessageType.TAKEOVER_NOTIFY, model.notify_bytes(dims), len(targets)
         )
         claim_record = claimant.own_record(self.overlay)
+        net_active = not self.net.is_identity
         for target_id in targets:
+            if (
+                net_active
+                and self._transmit(claimant.node_id, target_id, now) is None
+            ):
+                continue  # notify lost; the believer times the ghost out
             receiver = self._deliverable(target_id)
             if receiver is None:
                 continue
@@ -884,7 +953,13 @@ class HeartbeatProtocol:
                 model.request_bytes(),
                 len(targets),
             )
+            net_active = not self.net.is_identity
             for target_id in targets:
+                if (
+                    net_active
+                    and self._transmit(node_id, target_id, now) is None
+                ):
+                    continue  # request lost; the gap stays dirty, retried
                 responder = self._deliverable(target_id)
                 if responder is None:
                     continue
@@ -897,6 +972,11 @@ class HeartbeatProtocol:
                         responder.table.total_zones() + 1,
                     ),
                 )
+                if (
+                    net_active
+                    and self._transmit(target_id, node_id, now) is None
+                ):
+                    continue  # reply lost in flight (responder paid bytes)
                 # The reply crosses the network; it lands next round.
                 self._reply_queue.append(
                     (
@@ -910,8 +990,45 @@ class HeartbeatProtocol:
                 pnode.gap_attempts < self.config.gap_retry_rounds
             )
 
+    def _deliver_deferred(self, now: float) -> None:
+        """Land heartbeats whose link latency outran the round period.
+
+        A late heartbeat proves the sender was alive at *send* time, so
+        deliveries advance freshness to the send stamp, not ``now`` — a
+        message stuck behind a slow link cannot launder stale evidence
+        into fresh evidence.
+        """
+        if not self._deferred:
+            return
+        due = [entry for entry in self._deferred if entry[0] <= now]
+        if not due:
+            return
+        self._deferred = [entry for entry in self._deferred if entry[0] > now]
+        due.sort(key=lambda entry: entry[0])  # stable: FIFO within a round
+        for arrival, kind, receiver_id, own, snapshot, sent_at in due:
+            receiver = self._deliverable(receiver_id)
+            if receiver is None:
+                continue  # receiver died while the message was in flight
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "net.deliver_late", dst=receiver_id,
+                    src=own.node_id, sent_at=sent_at,
+                )
+            if not receiver.table.heard_from(own, sent_at):
+                self._receive_record(receiver, own, now, heard_at=sent_at)
+            if kind == "full" and snapshot is not None:
+                # the stored-table copy still serves a later take-over;
+                # skip the processed-epoch memo — it tracks *current*
+                # tables and this one is stale by construction
+                self._stored_in.setdefault(own.node_id, set()).add(
+                    receiver_id
+                )
+                receiver.stored_tables[own.node_id] = snapshot
+                self._absorb_table(receiver, snapshot, now)
+
     def _deliver_replies(self, now: float) -> None:
         """Deliver last round's full-update replies to their requesters."""
+        self._deliver_deferred(now)
         queue, self._reply_queue = self._reply_queue, []
         for receiver_id, own_record, snapshot in queue:
             receiver = self._deliverable(receiver_id)

@@ -512,9 +512,10 @@ class ArrayHeartbeatProtocol(HeartbeatProtocol):
 
     Behaviourally identical to :class:`HeartbeatProtocol` (the goldens pin
     byte-identical seeded accounting); only the round's hot phases run as
-    array kernels.  Message loss (``set_message_loss``) falls back to the
-    inherited per-delivery exchange, which runs exactly on array-backed
-    tables via the :class:`ArrayNeighborTable` interface.
+    array kernels.  A non-identity network channel (``set_network`` /
+    ``set_message_loss``) falls back to the inherited per-delivery
+    exchange, which runs exactly on array-backed tables via the
+    :class:`ArrayNeighborTable` interface.
     """
 
     def __init__(self, *args, **kwargs):
@@ -576,9 +577,10 @@ class ArrayHeartbeatProtocol(HeartbeatProtocol):
 
     # -- the exchange kernel --------------------------------------------------
     def _exchange_heartbeats(self, now: float) -> None:
-        if self._loss_rate > 0.0:
-            # per-delivery RNG draws: the inherited object path runs exactly
-            # on array-backed tables
+        if not self.net.is_identity:
+            # per-delivery channel verdicts (loss draws, partition/flap
+            # checks, latency): the inherited object path runs exactly on
+            # array-backed tables, so both engines share one RNG stream
             return super()._exchange_heartbeats(now)
         store = self.store
         prof = self.profiler if self.profiler is not None else NULL_PROFILER
@@ -678,7 +680,7 @@ class ArrayHeartbeatProtocol(HeartbeatProtocol):
                     # pre-round exceptional edges, or mutated mid-round by
                     # an earlier sender's merge: full object path
                     self._exchange_one_sender(
-                        sender, takeovers, vanilla, now, deliverable, None, 0.0
+                        sender, takeovers, vanilla, now, deliverable, None
                     )
                     continue
                 own = sender.own_record(self.overlay)

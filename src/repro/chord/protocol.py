@@ -62,6 +62,7 @@ import numpy as np
 from ..can.heartbeat import HeartbeatScheme, ProtocolConfig
 from ..can.messages import MessageType
 from ..can.stats import MessageStats
+from ..net import IDENTITY, NetworkModel, NetworkSpec
 from ..obs.profiling import NULL_PROFILER
 from ..sim.monitor import TimeSeries
 from .keyspace import RING_SIZE
@@ -154,8 +155,20 @@ class ChordMaintenanceProtocol:
         self._stored_in: Dict[int, Set[int]] = {}
         self.on_failure_detected: Optional[Callable[[int, float], None]] = None
         self._detected_failures: Set[int] = set()
-        self._loss_rate: float = 0.0
-        self._loss_rng: Optional[np.random.Generator] = None
+        #: the network channel every unreliable send traverses; IDENTITY
+        #: is bypassed entirely (no RNG draws), keeping seeded runs
+        #: unchanged
+        self.net: NetworkModel = IDENTITY
+        #: heartbeats in flight with super-period latency, as (arrival,
+        #: kind, receiver id, sender id, known snapshot|None, send time)
+        self._deferred: List[
+            Tuple[float, str, int, int, Optional[Dict[int, float]], float]
+        ] = []
+        self._net_sketch = (
+            metrics.scope("net").quantile_sketch("delivery_latency")
+            if metrics is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ accounting --
     def _record(
@@ -326,7 +339,13 @@ class ChordMaintenanceProtocol:
         self._record(
             now, MessageType.JOIN_NOTIFY, model.notify_bytes(dims), len(targets)
         )
+        net_active = not self.net.is_identity
         for target_id in sorted(targets):
+            if (
+                net_active
+                and self._transmit(splitter.node_id, target_id, now) is None
+            ):
+                continue  # notify lost; heartbeats converge the structure
             receiver = self._deliverable(target_id)
             if receiver is None:
                 continue
@@ -389,16 +408,41 @@ class ChordMaintenanceProtocol:
                 if nid in self.nodes:
                     self._hear(pnode, nid, now)
 
+    def set_network(self, model: Optional[NetworkModel]) -> None:
+        """Install the channel every unreliable send traverses.
+
+        Same contract as the CAN protocol: heartbeats, notifies, and the
+        adaptive request/reply path all go through ``model.transmit``;
+        the join reply and graceful-leave hand-off stay reliable
+        (acknowledged transfers, not datagrams).
+        """
+        self.net = IDENTITY if model is None else model
+
     def set_message_loss(
         self, rate: float, rng: Optional["np.random.Generator"]
     ) -> None:
-        """Drop each heartbeat delivery independently with ``rate``."""
-        if not 0.0 <= rate < 1.0:
-            raise ValueError("loss rate must be in [0, 1)")
-        if rate > 0.0 and rng is None:
-            raise ValueError("message loss needs a seeded rng")
-        self._loss_rate = float(rate)
-        self._loss_rng = rng
+        """Drop each unreliable delivery independently with ``rate``.
+
+        Compatibility wrapper over :meth:`set_network`; ``rate == 1`` is
+        a total blackout (every send dropped).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        if rate == 0.0:
+            self.net = IDENTITY
+        else:
+            self.net = NetworkModel(NetworkSpec(loss=rate), rng)
+
+    def _transmit(self, src: int, dst: int, now: float) -> Optional[float]:
+        """Send one message through the channel: None = dropped in flight."""
+        lat = self.net.transmit(src, dst, now)
+        if lat is None:
+            if self.tracer is not None:
+                self.tracer.emit(now, "net.drop", src=src, dst=dst)
+            return None
+        if self._net_sketch is not None:
+            self._net_sketch.insert(lat)
+        return lat
 
     # ------------------------------------------------------------------ the round --
     def run_round(self, now: float) -> None:
@@ -439,8 +483,8 @@ class ChordMaintenanceProtocol:
         model = self.config.size_model
         dims = self.overlay.space.dims
         compact_size = model.heartbeat_bytes(dims, 1, None)
-        loss_rng = self._loss_rng if self._loss_rate > 0.0 else None
-        loss_rate = self._loss_rate
+        net = self.net if not self.net.is_identity else None
+        period = self.config.period
         for node_id in sorted(self.nodes):
             if not self.overlay.is_alive(node_id):
                 continue  # ghosts are silent
@@ -468,20 +512,45 @@ class ChordMaintenanceProtocol:
                 now, MessageType.HEARTBEAT, compact_size, len(compact_targets)
             )
             for target_id in full_targets:
-                if loss_rng is not None and loss_rng.random() < loss_rate:
-                    continue  # dropped in flight (sender still paid bytes)
+                if net is not None:
+                    lat = self._transmit(node_id, target_id, now)
+                    if lat is None:
+                        continue  # dropped in flight (sender paid bytes)
+                    if lat > period:
+                        # slower than the round granularity: lands later
+                        # (the ack shares the forward message's fate)
+                        self._deferred.append(
+                            (now + lat, "full", target_id, node_id,
+                             dict(sender.known), now)
+                        )
+                        continue
                 receiver = self._deliverable(target_id)
                 if receiver is None:
                     continue  # dead target: no ack, sender's evidence ages
                 self._hear(receiver, node_id, now)
-                self._hear(sender, target_id, now)  # the (untallied) ack
+                # the (untallied) ack travels the reverse link, so a cut
+                # of target->sender starves the sender's evidence even
+                # when the forward direction delivers; ack latency is a
+                # sub-round detail (evidence is stamped at send time)
+                if net is None or self._transmit(
+                    target_id, node_id, now
+                ) is not None:
+                    self._hear(sender, target_id, now)
                 receiver.stored_state[node_id] = dict(sender.known)
                 self._stored_in.setdefault(node_id, set()).add(target_id)
                 for nid, heard_at in sender.known.items():
                     self._gossip(receiver, nid, heard_at)
             for target_id in compact_targets:
-                if loss_rng is not None and loss_rng.random() < loss_rate:
-                    continue
+                if net is not None:
+                    lat = self._transmit(node_id, target_id, now)
+                    if lat is None:
+                        continue
+                    if lat > period:
+                        self._deferred.append(
+                            (now + lat, "compact", target_id, node_id,
+                             None, now)
+                        )
+                        continue
                 receiver = self._deliverable(target_id)
                 if receiver is None:
                     continue  # dead target: no ack, sender's evidence ages
@@ -489,10 +558,50 @@ class ChordMaintenanceProtocol:
                 # receiver's known set and survives iff it improves the
                 # derived predecessor/successor structure
                 self._hear(receiver, node_id, now)
-                self._hear(sender, target_id, now)  # the (untallied) ack
+                if net is None or self._transmit(
+                    target_id, node_id, now
+                ) is not None:
+                    self._hear(sender, target_id, now)  # the (untallied) ack
+
+    def _deliver_deferred(self, now: float) -> None:
+        """Land heartbeats whose link latency outran the round period.
+
+        A late heartbeat proves the sender was alive at *send* time:
+        evidence (including the ack the sender gets back) is stamped with
+        the send time, so slow links delay detection-relevant freshness
+        instead of forging it.
+        """
+        if not self._deferred:
+            return
+        due = [entry for entry in self._deferred if entry[0] <= now]
+        if not due:
+            return
+        self._deferred = [entry for entry in self._deferred if entry[0] > now]
+        due.sort(key=lambda entry: entry[0])  # stable: FIFO within a round
+        for arrival, kind, receiver_id, sender_id, snapshot, sent_at in due:
+            receiver = self._deliverable(receiver_id)
+            if receiver is None:
+                continue  # receiver died while the message was in flight
+            if self.tracer is not None:
+                self.tracer.emit(
+                    now, "net.deliver_late", dst=receiver_id,
+                    src=sender_id, sent_at=sent_at,
+                )
+            self._gossip(receiver, sender_id, sent_at)
+            sender = self._deliverable(sender_id)
+            if sender is not None and self._transmit(
+                receiver_id, sender_id, now
+            ) is not None:
+                self._gossip(sender, receiver_id, sent_at)  # the late ack
+            if kind == "full" and snapshot is not None:
+                receiver.stored_state[sender_id] = snapshot
+                self._stored_in.setdefault(sender_id, set()).add(receiver_id)
+                for nid, heard_at in snapshot.items():
+                    self._gossip(receiver, nid, heard_at)
 
     def _deliver_replies(self, now: float) -> None:
         """Deliver last round's full-update replies to their requesters."""
+        self._deliver_deferred(now)
         queue, self._reply_queue = self._reply_queue, []
         for receiver_id, responder_id, snapshot in queue:
             receiver = self._deliverable(receiver_id)
@@ -607,7 +716,13 @@ class ChordMaintenanceProtocol:
         self._record(
             now, MessageType.TAKEOVER_NOTIFY, model.notify_bytes(dims), len(targets)
         )
+        net_active = not self.net.is_identity
         for target_id in targets:
+            if (
+                net_active
+                and self._transmit(claimant.node_id, target_id, now) is None
+            ):
+                continue  # notify lost; the believer times the ghost out
             receiver = self._deliverable(target_id)
             if receiver is None:
                 continue
@@ -658,7 +773,13 @@ class ChordMaintenanceProtocol:
                 model.request_bytes(),
                 len(targets),
             )
+            net_active = not self.net.is_identity
             for target_id in targets:
+                if (
+                    net_active
+                    and self._transmit(node_id, target_id, now) is None
+                ):
+                    continue  # request lost; the gap stays dirty, retried
                 responder = self._deliverable(target_id)
                 if responder is None:
                     continue
@@ -669,6 +790,11 @@ class ChordMaintenanceProtocol:
                         dims, len(responder.known) + 1, len(responder.known) + 1
                     ),
                 )
+                if (
+                    net_active
+                    and self._transmit(target_id, node_id, now) is None
+                ):
+                    continue  # reply lost in flight (responder paid bytes)
                 # The reply crosses the network; it lands next round.
                 self._reply_queue.append(
                     (node_id, target_id, dict(responder.known))

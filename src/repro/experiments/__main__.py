@@ -19,7 +19,17 @@ from __future__ import annotations
 import sys
 from typing import List, Sequence
 
-from . import ablations, fig5, fig6, fig7, fig8, recovery, report, substrates
+from . import (
+    ablations,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    recovery,
+    report,
+    scenarios,
+    substrates,
+)
 
 _TARGETS = {
     "fig5": fig5.main,
@@ -29,6 +39,7 @@ _TARGETS = {
     "ablations": ablations.main,
     "recovery": recovery.main,
     "substrates": substrates.main,
+    "scenarios": scenarios.main,
     "report": report.main,
 }
 

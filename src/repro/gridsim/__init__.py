@@ -2,7 +2,16 @@
 
 from .churn import ChurnSimulation
 from .config import ChurnConfig, MatchmakingConfig
-from .faults import CrashBurst, FaultInjector, FaultPlan
+from .faults import (
+    ChurnFaultDriver,
+    CrashBurst,
+    DiurnalChurn,
+    FaultInjector,
+    FaultPlan,
+    JoinBurst,
+    Scenario,
+    scenario_pack,
+)
 from .faulty import FaultyGridConfig, FaultyGridResult, FaultyGridSimulation
 from .invariants import (
     InvariantViolation,
@@ -19,9 +28,14 @@ __all__ = [
     "ChurnSimulation",
     "ChurnConfig",
     "MatchmakingConfig",
+    "ChurnFaultDriver",
     "CrashBurst",
+    "DiurnalChurn",
     "FaultInjector",
     "FaultPlan",
+    "JoinBurst",
+    "Scenario",
+    "scenario_pack",
     "FaultyGridConfig",
     "FaultyGridResult",
     "FaultyGridSimulation",

@@ -21,6 +21,7 @@ from ..sim.core import Environment
 from ..sim.rng import RngRegistry
 from ..workload.nodes import NodeDistribution, generate_node_specs
 from .config import ChurnConfig
+from .faults import ChurnFaultDriver
 from .results import ChurnResult
 
 __all__ = ["ChurnSimulation"]
@@ -64,6 +65,12 @@ class ChurnSimulation:
             self.protocol.set_message_loss(
                 config.message_loss, self.rngs.stream("hb-loss")
             )
+        #: scripted adversity: installed once, before any process runs, so
+        #: burst callbacks and the network model are part of the seeded run
+        self.fault_driver: Optional[ChurnFaultDriver] = None
+        if not config.plan.empty:
+            self.fault_driver = ChurnFaultDriver(self, config.plan)
+            self.fault_driver.install()
         self.metrics = MetricsRegistry()
         proto_scope = self.metrics.scope("protocol")
         proto_scope.register("broken_links", self.protocol.broken_links)
@@ -118,8 +125,13 @@ class ChurnSimulation:
         cfg = self.config
         warmup_time = cfg.heartbeat_period * (cfg.warmup_rounds + 1)
         yield self.env.timeout(warmup_time)
+        driver = self.fault_driver
         while self.env.now < cfg.duration:
             gap = float(self._event_rng.exponential(cfg.event_gap_mean))
+            if driver is not None:
+                # diurnal curve: scale the gap, never the draw — the RNG
+                # stream is identical with and without the modulation
+                gap *= driver.gap_multiplier(self.env.now)
             yield self.env.timeout(max(gap, 1e-6))
             if self.env.now >= cfg.duration:
                 return

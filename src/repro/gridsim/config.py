@@ -7,6 +7,7 @@ from dataclasses import dataclass, field, replace
 from ..can.heartbeat import HeartbeatScheme
 from ..model.contention import ContentionModel
 from ..workload.presets import WorkloadPreset
+from .faults import FaultPlan
 
 __all__ = ["MatchmakingConfig", "ChurnConfig"]
 
@@ -88,6 +89,10 @@ class ChurnConfig:
     #: events mid-run (0 = only when the caller asks); catches structural
     #: corruption at the event that introduced it instead of at the end
     invariant_check_every: int = 0
+    #: scripted adversity (crash/join bursts, diurnal curve, network
+    #: model) layered onto the background churn; the empty default plan
+    #: changes nothing
+    plan: FaultPlan = FaultPlan()
 
     def __post_init__(self) -> None:
         from ..overlay import get_substrate
@@ -103,8 +108,13 @@ class ChurnConfig:
             raise ValueError("periods must be positive")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
-        if not 0.0 <= self.message_loss < 1.0:
-            raise ValueError("message_loss must be in [0, 1)")
+        if not 0.0 <= self.message_loss <= 1.0:
+            raise ValueError("message_loss must be in [0, 1]")
+        if self.message_loss > 0.0 and not self.plan.empty:
+            if self.plan.network_spec() is not None:
+                raise ValueError(
+                    "set loss via message_loss or the plan's network, not both"
+                )
 
     @property
     def dims(self) -> int:

@@ -1,33 +1,52 @@
-"""Deterministic fault injection for the faulty-grid simulation.
+"""Deterministic fault injection and the adversarial scenario pack.
 
 The background churn processes model steady-state attrition (exponential
 gaps).  This module adds *scripted* adversity on top:
 
 * :class:`CrashBurst` — ``count`` nodes crash at simulated time ``at``;
-  with ``correlated=True`` the victims are a zone owner plus its
-  ground-truth CAN neighbors (a rack/subnet loss), the worst case for the
-  split-tree take-over path because claimants and their stored tables die
-  together.
-* :class:`FaultPlan` — an immutable schedule of bursts plus a heartbeat
-  message-loss probability (each heartbeat delivery is independently
-  dropped, degrading every scheme's freshness evidence — the knob that
-  makes detection latency *differ* across vanilla/compact/adaptive).
+  with ``correlated=True`` the victims cluster into ``groups``
+  rack-failure groups, each a zone owner plus its ground-truth overlay
+  neighbors (a rack/subnet loss), the worst case for the take-over path
+  because claimants and their stored tables die together.
+* :class:`JoinBurst` — a flash crowd: ``count`` nodes join at once.
+* :class:`DiurnalChurn` — a day/night curve modulating the background
+  churn process's event gaps (amplitude 0 leaves the process untouched).
+* :class:`FaultPlan` — an immutable schedule of the above plus a network
+  description: either the legacy ``message_loss`` Bernoulli knob or a
+  full :class:`repro.net.NetworkSpec` (latency, asymmetric partitions,
+  flapping links).
 * :class:`FaultInjector` — wires a plan into a running
-  :class:`~repro.gridsim.faulty.FaultyGridSimulation`: bursts become
-  kernel callbacks; message loss is installed on the heartbeat protocol.
+  :class:`~repro.gridsim.faulty.FaultyGridSimulation`;
+  :class:`ChurnFaultDriver` does the same for
+  :class:`~repro.gridsim.churn.ChurnSimulation`.
+* :func:`scenario_pack` — the named adversarial scenarios the
+  ``python -m repro.experiments scenarios`` harness runs.
 
 All victim choices draw from the simulation's seeded ``fault-bursts``
-stream, so a plan replays byte-identically under a fixed seed.
+stream and the network model draws from ``hb-loss``, so a plan replays
+byte-identically under a fixed seed.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["CrashBurst", "FaultPlan", "FaultInjector"]
+from ..net import FlapSpec, NetworkSpec
+
+__all__ = [
+    "CrashBurst",
+    "JoinBurst",
+    "DiurnalChurn",
+    "FaultPlan",
+    "FaultInjector",
+    "ChurnFaultDriver",
+    "Scenario",
+    "scenario_pack",
+]
 
 
 @dataclass(frozen=True)
@@ -36,14 +55,63 @@ class CrashBurst:
 
     at: float
     count: int = 1
-    #: cluster the victims: one seed node plus its overlay neighbors
+    #: cluster the victims: seed node(s) plus their overlay neighbors
     correlated: bool = False
+    #: number of correlated clusters the count is split across (rack
+    #: groups); only meaningful with ``correlated=True``
+    groups: int = 1
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ValueError("burst time must be non-negative")
         if self.count < 1:
             raise ValueError("burst must crash at least one node")
+        if self.groups < 1:
+            raise ValueError("burst needs at least one group")
+
+
+@dataclass(frozen=True)
+class JoinBurst:
+    """A flash crowd: ``count`` nodes join at time ``at``."""
+
+    at: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("burst time must be non-negative")
+        if self.count < 1:
+            raise ValueError("burst must join at least one node")
+
+
+@dataclass(frozen=True)
+class DiurnalChurn:
+    """Day/night modulation of the background churn rate.
+
+    The instantaneous churn rate is scaled by
+    ``1 + amplitude * sin(2*pi * (now - phase) / period)`` — event gaps
+    are *divided* by that factor, so peaks churn faster and troughs
+    slower while the mean stays near the configured gap.  ``amplitude``
+    must stay below 1 (the rate never goes negative); 0 is the identity.
+    """
+
+    period: float
+    amplitude: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("diurnal period must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+
+    def gap_multiplier(self, now: float) -> float:
+        if self.amplitude == 0.0:
+            return 1.0
+        rate = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (now - self.phase) / self.period
+        )
+        return 1.0 / rate
 
 
 @dataclass(frozen=True)
@@ -51,17 +119,84 @@ class FaultPlan:
     """A scripted fault schedule layered onto the background churn."""
 
     bursts: Tuple[CrashBurst, ...] = ()
-    #: probability that any single heartbeat delivery is lost in flight
+    #: probability that any single unreliable delivery is lost in flight
+    #: (legacy Bernoulli knob; closed interval — 1.0 is a total blackout)
     message_loss: float = 0.0
+    #: flash-crowd arrivals
+    joins: Tuple[JoinBurst, ...] = ()
+    #: day/night churn-rate curve (ChurnSimulation only)
+    diurnal: Optional[DiurnalChurn] = None
+    #: full network model (latency/partitions/flaps); mutually exclusive
+    #: with the legacy ``message_loss`` knob
+    network: Optional[NetworkSpec] = None
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.message_loss < 1.0:
-            raise ValueError("message_loss must be in [0, 1)")
+        if not 0.0 <= self.message_loss <= 1.0:
+            raise ValueError("message_loss must be in [0, 1]")
+        if self.network is not None and self.message_loss > 0.0:
+            raise ValueError(
+                "set loss inside the NetworkSpec, not alongside it"
+            )
         object.__setattr__(self, "bursts", tuple(self.bursts))
+        object.__setattr__(self, "joins", tuple(self.joins))
 
     @property
     def empty(self) -> bool:
-        return not self.bursts and self.message_loss == 0.0
+        return (
+            not self.bursts
+            and not self.joins
+            and self.diurnal is None
+            and self.message_loss == 0.0
+            and (self.network is None or self.network.identity)
+        )
+
+    def network_spec(self) -> Optional[NetworkSpec]:
+        """The channel this plan installs, or None for the ideal channel."""
+        if self.network is not None and not self.network.identity:
+            return self.network
+        if self.message_loss > 0.0:
+            return NetworkSpec(loss=self.message_loss)
+        return None
+
+
+def _burst_victims(
+    burst: CrashBurst,
+    alive: List[int],
+    count: int,
+    rng: np.random.Generator,
+    overlay,
+) -> List[int]:
+    """Victims for one crash burst (already clipped to ``count``).
+
+    Uncorrelated bursts sample uniformly.  Correlated bursts pick
+    ``groups`` seed nodes and take each seed plus its ground-truth
+    neighborhood — rack groups going down together.  Draw order is
+    stable, so a plan replays identically under a fixed seed.
+    """
+    if count <= 0:
+        return []
+    if not burst.correlated:
+        picks = rng.choice(len(alive), size=count, replace=False)
+        return [int(alive[i]) for i in sorted(picks)]
+    victims: List[int] = []
+    remaining = list(alive)
+    groups = burst.groups
+    for g in range(groups):
+        if len(victims) >= count or not remaining:
+            break
+        quota = count // groups + (1 if g < count % groups else 0)
+        if quota <= 0:
+            continue
+        seed = int(remaining[int(rng.integers(len(remaining)))])
+        remaining_set = set(remaining)
+        cluster = [seed] + sorted(
+            nid for nid in overlay.neighbors(seed) if nid in remaining_set
+        )
+        chosen = cluster[:quota]
+        victims.extend(chosen)
+        chosen_set = set(chosen)
+        remaining = [nid for nid in remaining if nid not in chosen_set]
+    return victims[:count]
 
 
 class FaultInjector:
@@ -72,17 +207,21 @@ class FaultInjector:
         self.plan = plan
         self.bursts_fired = 0
         self.crashes_injected = 0
+        self.joins_injected = 0
 
     def install(self) -> None:
         """Schedule the plan; call once before the simulation runs."""
         sim = self.sim
-        if self.plan.message_loss > 0.0 and sim.protocol is not None:
-            sim.protocol.set_message_loss(
-                self.plan.message_loss, sim.rngs.stream("hb-loss")
-            )
+        spec = self.plan.network_spec()
+        if spec is not None and sim.protocol is not None:
+            sim.protocol.set_network(spec.build(sim.rngs.stream("hb-loss")))
         for burst in self.plan.bursts:
             sim.env.schedule_callback(
                 burst.at - sim.env.now, lambda b=burst: self._fire(b)
+            )
+        for jburst in self.plan.joins:
+            sim.env.schedule_callback(
+                jburst.at - sim.env.now, lambda b=jburst: self._fire_joins(b)
             )
 
     def _fire(self, burst: CrashBurst) -> None:
@@ -101,6 +240,17 @@ class FaultInjector:
                 victims=victims,
             )
 
+    def _fire_joins(self, burst: JoinBurst) -> None:
+        sim = self.sim
+        join_rng = sim.rngs.stream("fault-joins")
+        for _ in range(burst.count):
+            sim._join_new_node(join_rng)
+        self.joins_injected += burst.count
+        if sim.tracer is not None:
+            sim.tracer.emit(
+                sim.env.now, "fault.flash_crowd", count=burst.count
+            )
+
     def _pick_victims(
         self, burst: CrashBurst, rng: np.random.Generator
     ) -> List[int]:
@@ -110,19 +260,157 @@ class FaultInjector:
         floor = int(
             sim.config.preset.nodes * sim.fault_config.min_population_fraction
         )
-        headroom = len(alive) - floor
-        count = min(burst.count, max(headroom, 0))
-        if count <= 0:
-            return []
-        if not burst.correlated:
-            picks = rng.choice(len(alive), size=count, replace=False)
-            return [int(alive[i]) for i in sorted(picks)]
-        # Correlated: a seed node and its ground-truth neighborhood go down
-        # together.  Neighbors are sorted for determinism; if the cluster is
-        # smaller than the requested count the burst is clipped to it.
-        seed = int(alive[int(rng.integers(len(alive)))])
-        alive_set = set(alive)
-        cluster = [seed] + sorted(
-            nid for nid in sim.overlay.neighbors(seed) if nid in alive_set
+        count = min(burst.count, max(len(alive) - floor, 0))
+        return _burst_victims(burst, alive, count, rng, sim.overlay)
+
+
+class ChurnFaultDriver:
+    """Applies a :class:`FaultPlan` to a ChurnSimulation.
+
+    The network model goes onto the maintenance protocol, scripted
+    crash/join bursts become kernel callbacks, and the diurnal curve is
+    consulted by the simulation's churn process for each event gap.
+    """
+
+    def __init__(self, sim, plan: FaultPlan):
+        self.sim = sim
+        self.plan = plan
+        self.bursts_fired = 0
+        self.crashes_injected = 0
+        self.joins_injected = 0
+
+    def install(self) -> None:
+        sim = self.sim
+        spec = self.plan.network_spec()
+        if spec is not None:
+            sim.protocol.set_network(spec.build(sim.rngs.stream("hb-loss")))
+        for burst in self.plan.bursts:
+            sim.env.schedule_callback(
+                burst.at - sim.env.now, lambda b=burst: self._fire_crash(b)
+            )
+        for jburst in self.plan.joins:
+            sim.env.schedule_callback(
+                jburst.at - sim.env.now, lambda b=jburst: self._fire_joins(b)
+            )
+
+    def gap_multiplier(self, now: float) -> float:
+        diurnal = self.plan.diurnal
+        return 1.0 if diurnal is None else diurnal.gap_multiplier(now)
+
+    def _fire_crash(self, burst: CrashBurst) -> None:
+        sim = self.sim
+        alive = sorted(sim.overlay.alive_ids())
+        # same floor the background churn respects: never collapse the grid
+        floor = max(4, sim.config.initial_nodes // 4)
+        count = min(burst.count, max(len(alive) - floor, 0))
+        victims = _burst_victims(
+            burst, alive, count, sim.rngs.stream("fault-bursts"), sim.overlay
         )
-        return cluster[:count]
+        for victim_id in victims:
+            sim.protocol.fail(victim_id, now=sim.env.now)
+        self.bursts_fired += 1
+        self.crashes_injected += len(victims)
+        sim._population.update(
+            sim.env.now, float(len(sim.overlay.alive_ids()))
+        )
+        if sim.tracer is not None:
+            sim.tracer.emit(
+                sim.env.now,
+                "fault.burst",
+                count=len(victims),
+                correlated=burst.correlated,
+                victims=victims,
+            )
+
+    def _fire_joins(self, burst: JoinBurst) -> None:
+        sim = self.sim
+        for _ in range(burst.count):
+            node_id, coord = sim._new_coord()
+            sim.protocol.join(node_id, coord, now=sim.env.now)
+        self.joins_injected += burst.count
+        sim._population.update(
+            sim.env.now, float(len(sim.overlay.alive_ids()))
+        )
+        if sim.tracer is not None:
+            sim.tracer.emit(
+                sim.env.now, "fault.flash_crowd", count=burst.count
+            )
+
+
+# ------------------------------------------------------------- scenarios --
+@dataclass(frozen=True)
+class Scenario:
+    """A named adversarial condition for the scenarios harness."""
+
+    name: str
+    description: str
+    plan: FaultPlan
+
+
+def scenario_pack(
+    duration: float, nodes: int, period: float = 60.0
+) -> Tuple[Scenario, ...]:
+    """The adversarial scenario pack, scaled to one run shape.
+
+    Times are fractions of ``duration`` so fast and full runs exercise
+    the same story; magnitudes scale with ``nodes``.  ``baseline`` is the
+    ideal-channel control every other scenario is read against.
+    """
+    return (
+        Scenario(
+            "baseline",
+            "ideal channel, background churn only",
+            FaultPlan(),
+        ),
+        Scenario(
+            "diurnal",
+            "day/night churn curve: peaks churn ~5x faster than troughs",
+            FaultPlan(
+                diurnal=DiurnalChurn(period=duration / 2.0, amplitude=0.7)
+            ),
+        ),
+        Scenario(
+            "flash_crowd",
+            "arrival burst: a third of the population joins at once",
+            FaultPlan(
+                joins=(JoinBurst(at=0.4 * duration, count=max(nodes // 3, 5)),)
+            ),
+        ),
+        Scenario(
+            "rack_failure",
+            "correlated rack groups: three neighborhoods crash together, twice",
+            FaultPlan(
+                bursts=(
+                    CrashBurst(
+                        at=0.35 * duration,
+                        count=max(nodes // 8, 6),
+                        correlated=True,
+                        groups=3,
+                    ),
+                    CrashBurst(
+                        at=0.7 * duration,
+                        count=max(nodes // 8, 6),
+                        correlated=True,
+                        groups=3,
+                    ),
+                )
+            ),
+        ),
+        Scenario(
+            "flap_storm",
+            "a third of links flap down longer than the failure timeout",
+            FaultPlan(
+                network=NetworkSpec(
+                    flaps=(
+                        FlapSpec(
+                            down=4.0 * period,
+                            up=2.0 * period,
+                            fraction=0.35,
+                            start=0.3 * duration,
+                            end=0.85 * duration,
+                        ),
+                    ),
+                )
+            ),
+        ),
+    )

@@ -169,6 +169,8 @@ def _check_overlay(overlay) -> None:
 def check_faulty_invariants(sim, final: bool = False) -> None:
     """All invariants of a (possibly mid-run) FaultyGridSimulation."""
     _check_overlay(sim.overlay)
+    if sim.protocol is not None:
+        _check_network(sim.protocol)
 
     alive = set(sim.overlay.alive_ids())
     grid_ids = set(sim.grid_nodes)
@@ -259,10 +261,38 @@ def _check_job_states(sim, final: bool) -> None:
         )
 
 
+def _check_network(protocol) -> None:
+    """Channel accounting: every attempted send delivered xor dropped.
+
+    Holds mid-flight under any scenario (loss, partitions, flap storms):
+    the network model counts verdicts at the single transmit choke point,
+    so a send path that bypassed the channel or double-counted a verdict
+    shows up as an accounting leak here.
+    """
+    net = getattr(protocol, "net", None)
+    if net is None or net.is_identity:
+        return
+    if net.attempts != net.delivered + net.dropped:
+        _fail(
+            f"network accounting leak: {net.attempts} attempts != "
+            f"{net.delivered} delivered + {net.dropped} dropped"
+        )
+    if net.delivered < 0 or any(v < 0 for v in net.drops.values()):
+        _fail(f"negative network counter: {net.counters()}")
+    for entry in getattr(protocol, "_deferred", ()):
+        arrival, sent_at = entry[0], entry[-1]
+        if arrival <= sent_at:
+            _fail(
+                f"deferred delivery travels back in time: "
+                f"sent {sent_at}, arrives {arrival}"
+            )
+
+
 def check_churn_invariants(sim) -> None:
     """Invariants of a (possibly mid-run) ChurnSimulation."""
     _check_overlay(sim.overlay)
     protocol = sim.protocol
+    _check_network(protocol)
     ev = protocol.events
 
     # membership ledger: one bootstrap node, then joins/leaves/claims

@@ -1,0 +1,306 @@
+"""Deterministic network-realism model: latency, partitions, flapping links.
+
+Every unreliable message in the maintenance protocols traverses one
+:class:`NetworkModel` — the single channel abstraction that replaced the
+scattered inline ``loss_rng.random() < loss_rate`` sites.  A model is
+built from a frozen :class:`NetworkSpec` (so it can live inside frozen
+simulation configs) and answers exactly one question per send::
+
+    latency = model.transmit(src, dst, now)   # None -> dropped
+
+The design constraint throughout is *determinism with order
+independence*:
+
+* **Loss** is the only feature that consumes the shared RNG stream, and
+  it draws exactly one uniform per attempted send — the same draw
+  pattern as the historical inline sites, so a loss-only model replays
+  old seeded runs byte-for-byte.
+* **Partitions** and **flapping links** are pure functions of
+  ``(src, dst, now)`` — no RNG at all.  Which links a flap storm affects
+  and the phase of each link's up/down square wave come from a
+  splitmix64 hash of the link pair, so two simulations that send in
+  different orders still see identical link schedules.
+* **Latency** is drawn per *directed* link pair from a hash-seeded
+  uniform pair (never the shared stream) and cached by ``(src, dst)``,
+  so a pair's latency is stable for the run and independent of when it
+  is first used.
+
+The :data:`IDENTITY` singleton is the ideal channel: protocols bypass it
+entirely (no draws, no counters), which is what keeps the seeded goldens
+and ``trace_sha256`` pins of loss-free runs unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LatencySpec",
+    "PartitionSpec",
+    "FlapSpec",
+    "NetworkSpec",
+    "NetworkModel",
+    "IDENTITY",
+]
+
+_INF = math.inf
+
+
+# ---------------------------------------------------------------- hashing --
+def _splitmix64(x: int) -> int:
+    """One splitmix64 round: cheap, well-mixed 64-bit hash step."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+def _mix(*parts: int) -> int:
+    """Hash a tuple of ints into a 64-bit value, order-sensitive."""
+    h = 0x5851F42D4C957F2D
+    for p in parts:
+        h = _splitmix64(h ^ (p & 0xFFFFFFFFFFFFFFFF))
+    return h
+
+
+def _unit(h: int) -> float:
+    """Map a 64-bit hash to a uniform in [0, 1)."""
+    return (h >> 11) / float(1 << 53)
+
+
+# ------------------------------------------------------------------ specs --
+@dataclass(frozen=True)
+class LatencySpec:
+    """Per-link one-way latency distribution (seconds).
+
+    ``constant`` uses ``low``; ``uniform`` draws from [low, high);
+    ``lognormal`` draws exp(mu + sigma·z) with z standard normal — the
+    classic heavy-tailed WAN latency shape.
+    """
+
+    kind: str = "constant"
+    low: float = 0.0
+    high: float = 0.0
+    mu: float = 0.0
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("constant", "uniform", "lognormal"):
+            raise ValueError(f"unknown latency kind {self.kind!r}")
+        if self.kind == "uniform" and self.high < self.low:
+            raise ValueError("uniform latency needs high >= low")
+        if self.low < 0.0:
+            raise ValueError("latency cannot be negative")
+        if self.kind == "lognormal" and self.sigma < 0.0:
+            raise ValueError("lognormal sigma cannot be negative")
+
+    def draw(self, u1: float, u2: float) -> float:
+        """Latency from two unit uniforms (hash-derived, not the RNG)."""
+        if self.kind == "constant":
+            return self.low
+        if self.kind == "uniform":
+            return self.low + (self.high - self.low) * u1
+        # Box-Muller; clamp u1 away from 0 so log() is finite
+        z = math.sqrt(-2.0 * math.log(max(u1, 1e-12))) * math.cos(
+            2.0 * math.pi * u2
+        )
+        return math.exp(self.mu + self.sigma * z)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A directional cut: messages from ``src`` ids to ``dst`` ids are
+    blocked during [start, end).  Asymmetric by default — A→B can be cut
+    while B→A still delivers — set ``symmetric=True`` for a clean split.
+    Empty ``src``/``dst`` means "every node" on that side.
+    """
+
+    src: Tuple[int, ...] = ()
+    dst: Tuple[int, ...] = ()
+    start: float = 0.0
+    end: float = _INF
+    symmetric: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", tuple(self.src))
+        object.__setattr__(self, "dst", tuple(self.dst))
+        if self.end < self.start:
+            raise ValueError("partition needs end >= start")
+
+    def blocks(self, src: int, dst: int, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        if self._matches(src, dst):
+            return True
+        return self.symmetric and self._matches(dst, src)
+
+    def _matches(self, src: int, dst: int) -> bool:
+        return (not self.src or src in self.src) and (
+            not self.dst or dst in self.dst
+        )
+
+
+@dataclass(frozen=True)
+class FlapSpec:
+    """Flapping links: an up/down square wave over a window.
+
+    During [start, end), a ``fraction`` of undirected link pairs flap:
+    each affected link repeats ``down`` seconds unreachable then ``up``
+    seconds fine, debounce-style — the link state only changes at
+    schedule edges, never per message.  Which links flap and each link's
+    phase offset are hashed from the (unordered) pair, so the same links
+    flap with the same schedule regardless of traffic order.
+    """
+
+    down: float
+    up: float
+    fraction: float = 1.0
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        if self.down <= 0.0 or self.up < 0.0:
+            raise ValueError("flap needs down > 0 and up >= 0")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("flap fraction must be in (0, 1]")
+        if self.end < self.start:
+            raise ValueError("flap needs end >= start")
+
+    def link_down(self, src: int, dst: int, now: float, salt: int) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        a, b = (src, dst) if src <= dst else (dst, src)
+        h = _mix(salt, 0xF1A9, a, b)
+        if self.fraction < 1.0 and _unit(h) >= self.fraction:
+            return False  # this link sat the storm out
+        cycle = self.down + self.up
+        phase = _unit(_splitmix64(h)) * cycle
+        return (now - self.start + phase) % cycle < self.down
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Frozen description of a network model; ``build()`` makes it live.
+
+    ``loss`` is the uniform Bernoulli drop probability (closed interval
+    [0, 1]: 1.0 is a total blackout, exactly what partition tests need).
+    ``seed`` salts the hash streams for link latency/flap assignment so
+    two specs can differ only in which links misbehave.
+    """
+
+    loss: float = 0.0
+    latency: Optional[LatencySpec] = None
+    partitions: Tuple[PartitionSpec, ...] = ()
+    flaps: Tuple[FlapSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "flaps", tuple(self.flaps))
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+
+    @property
+    def identity(self) -> bool:
+        return (
+            self.loss == 0.0
+            and self.latency is None
+            and not self.partitions
+            and not self.flaps
+        )
+
+    def build(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> "NetworkModel":
+        return NetworkModel(self, rng)
+
+
+# ------------------------------------------------------------------ model --
+class NetworkModel:
+    """Live channel: per-send verdicts plus delivery accounting.
+
+    Counters (``attempts``, ``delivered``, ``drops`` by reason) feed the
+    mid-flight invariant checkers: every attempted send must be exactly
+    one of delivered or dropped.
+    """
+
+    __slots__ = (
+        "spec",
+        "_rng",
+        "_latency_cache",
+        "attempts",
+        "delivered",
+        "drops",
+    )
+
+    def __init__(
+        self,
+        spec: NetworkSpec = NetworkSpec(),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if spec.loss > 0.0 and rng is None:
+            raise ValueError("message loss needs a seeded rng")
+        self.spec = spec
+        self._rng = rng
+        self._latency_cache: Dict[Tuple[int, int], float] = {}
+        self.attempts = 0
+        self.delivered = 0
+        self.drops = {"loss": 0, "partition": 0, "link_down": 0}
+
+    @property
+    def is_identity(self) -> bool:
+        return self.spec.identity
+
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    def transmit(self, src: int, dst: int, now: float) -> Optional[float]:
+        """One attempted send: None when dropped, else one-way latency.
+
+        Verdict order: partition, link flap (both RNG-free), then the
+        Bernoulli loss draw — so deterministic cuts never consume the
+        shared RNG stream, and a loss-only model draws exactly one
+        uniform per send (the historical inline-site behaviour).
+        """
+        spec = self.spec
+        if spec.identity:
+            return 0.0  # ideal channel: no draws, no accounting
+        self.attempts += 1
+        for part in spec.partitions:
+            if part.blocks(src, dst, now):
+                self.drops["partition"] += 1
+                return None
+        for flap in spec.flaps:
+            if flap.link_down(src, dst, now, spec.seed):
+                self.drops["link_down"] += 1
+                return None
+        if spec.loss > 0.0 and self._rng.random() < spec.loss:
+            self.drops["loss"] += 1
+            return None
+        self.delivered += 1
+        if spec.latency is None:
+            return 0.0
+        key = (src, dst)
+        lat = self._latency_cache.get(key)
+        if lat is None:
+            h = _mix(spec.seed, 0x1A7E, src, dst)
+            lat = spec.latency.draw(_unit(h), _unit(_splitmix64(h)))
+            self._latency_cache[key] = lat
+        return lat
+
+    def counters(self) -> Dict[str, int]:
+        """Accounting snapshot for invariants, traces, and reports."""
+        out = {"attempts": self.attempts, "delivered": self.delivered}
+        for reason, count in self.drops.items():
+            out[f"dropped_{reason}"] = count
+        return out
+
+
+#: the ideal channel — shared, stateless in practice (protocols bypass it
+#: before any counter could move)
+IDENTITY = NetworkModel()

@@ -414,6 +414,53 @@ def _micro_ledger(jobs: int, seed: int):
     return fn
 
 
+def _micro_net_channel(sends: int, nodes: int, seed: int):
+    """Per-send cost of the network channel's transmit verdict.
+
+    Exercises the adversarial configuration (loss + latency + partition +
+    flap — every verdict branch live) over a realistic id space, and
+    reports the identity-channel bypass alongside it as ``identity_ns``:
+    the price every loss-free simulation pays per send.
+    """
+    from ..net import (
+        FlapSpec,
+        LatencySpec,
+        NetworkModel,
+        NetworkSpec,
+        PartitionSpec,
+    )
+
+    def fn(profiler: Profiler) -> Dict[str, Any]:
+        rng = np.random.default_rng(seed)
+        spec = NetworkSpec(
+            loss=0.05,
+            latency=LatencySpec(kind="lognormal", mu=-2.5, sigma=1.0),
+            partitions=(
+                PartitionSpec(src=(0, 1, 2), dst=(7, 8, 9), start=0.0),
+            ),
+            flaps=(FlapSpec(down=240.0, up=120.0, fraction=0.3),),
+            seed=seed,
+        )
+        model = NetworkModel(spec, rng)
+        pairs = rng.integers(0, nodes, size=(sends, 2)).tolist()
+        transmit = model.transmit
+        t0 = CLOCK()
+        with profiler.scope("net.transmit"):
+            for i, (src, dst) in enumerate(pairs):
+                transmit(src, dst, float(i))
+        wall = CLOCK() - t0
+        metrics = _micro_metrics(sends, wall)
+        metrics["delivered_fraction"] = round(model.delivered / sends, 4)
+        identity = NetworkModel()
+        t0 = CLOCK()
+        for i, (src, dst) in enumerate(pairs):
+            identity.transmit(src, dst, float(i))
+        metrics["identity_ns"] = round((CLOCK() - t0) / sends * 1e9, 1)
+        return metrics
+
+    return fn
+
+
 def _micro_sketch(inserts: int, seed: int):
     """Streaming quantile-sketch ingest: the per-sample telemetry cost.
 
@@ -677,6 +724,14 @@ def _suite(mode: str, seed: int) -> List[Tuple[str, str, str, Callable]]:
             "micro",
             "micro",
             _micro_sketch(50_000 if smoke else 500_000, seed),
+        ),
+        (
+            "micro.net_channel",
+            "micro",
+            "micro",
+            _micro_net_channel(
+                50_000 if smoke else 200_000, 100 if smoke else 200, seed
+            ),
         ),
     ]
     return rows

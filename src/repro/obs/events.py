@@ -36,7 +36,8 @@ class EV:
     ``mm.*``    matchmaker decisions
     ``grid.*``  grid-level churn consequences (crashes, lost/resubmitted jobs)
     ``recovery.*``  failure-recovery milestones (detection, degraded search)
-    ``fault.*`` scripted fault injection (crash bursts)
+    ``fault.*`` scripted fault injection (crash bursts, flash crowds)
+    ``net.*``   network-channel verdicts (drops, late deliveries)
     ``service.*``  live-gateway lifecycle and ledger status transitions
     """
 
@@ -81,6 +82,11 @@ class EV:
     RECOVERY_DETECTED = "recovery.detected"  # node, latency, jobs
     RECOVERY_FALLBACK = "recovery.fallback"  # job, node, candidates
     FAULT_BURST = "fault.burst"      # count, correlated, victims
+    FAULT_FLASH_CROWD = "fault.flash_crowd"  # count
+
+    # -- network channel (only non-identity models emit these)
+    NET_DROP = "net.drop"            # src, dst (loss, partition, or flap)
+    NET_DELIVER_LATE = "net.deliver_late"  # src, dst, sent_at (> period)
 
     # -- live service (gateway + persistent ledger)
     SERVICE_START = "service.start"  # nodes, scheme, recovered

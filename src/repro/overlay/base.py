@@ -172,6 +172,9 @@ class MaintenanceProtocol(Protocol):
     _fail_times: Dict[int, float]
     #: fired once per failed node when the protocol first notices the crash
     on_failure_detected: Optional[Callable[[int, float], None]]
+    #: the network channel (repro.net.NetworkModel) every unreliable send
+    #: traverses; the identity model is bypassed with no RNG draws
+    net: Any
 
     def bootstrap(self, node_id: int, coord: Sequence[float], now: float = 0.0) -> None: ...
 
@@ -192,6 +195,12 @@ class MaintenanceProtocol(Protocol):
         protocol (grid bootstrap paths skip join-message accounting)."""
         ...
 
-    def set_message_loss(self, rate: float, rng: Any) -> None: ...
+    def set_message_loss(self, rate: float, rng: Any) -> None:
+        """Compatibility wrapper: a loss-only network model."""
+        ...
+
+    def set_network(self, model: Any) -> None:
+        """Install a repro.net.NetworkModel as the message channel."""
+        ...
 
     def count_broken_links(self) -> int: ...

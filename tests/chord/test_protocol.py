@@ -175,8 +175,13 @@ def test_message_loss_delays_but_does_not_break_detection():
     # eventually claimed
     assert proto.events["claims"] >= 1
     assert victim not in ring.members
+    # the closed interval is accepted: 1.0 is a total blackout
+    proto.set_message_loss(1.0, np.random.default_rng(0))
+    assert not proto.net.is_identity
     with pytest.raises(ValueError):
-        proto.set_message_loss(1.0, np.random.default_rng(0))
+        proto.set_message_loss(1.1, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        proto.set_message_loss(-0.1, np.random.default_rng(0))
 
 
 def test_broken_links_counts_missing_truth_neighbors():

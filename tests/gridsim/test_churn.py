@@ -136,7 +136,19 @@ class TestInvariantsAndLoss:
         assert res.final_population > 10
 
     def test_message_loss_validation(self):
+        # the closed interval is accepted: 1.0 is a total blackout
+        assert quick_config(message_loss=1.0).message_loss == 1.0
         with pytest.raises(ValueError):
-            quick_config(message_loss=1.0)
+            quick_config(message_loss=1.1)
         with pytest.raises(ValueError):
             quick_config(message_loss=-0.1)
+
+    def test_total_blackout_starves_all_evidence(self):
+        """rate == 1.0 drops every unreliable send: nothing delivers."""
+        sim = ChurnSimulation(quick_config(message_loss=1.0))
+        sim.run()
+        sim.check_invariants()
+        net = sim.protocol.net
+        assert net.attempts > 0
+        assert net.delivered == 0
+        assert net.drops["loss"] == net.attempts

@@ -32,8 +32,12 @@ class TestPlanValidation:
             CrashBurst(at=0.0, count=0)
 
     def test_plan_validation_and_empty(self):
+        # the closed interval is accepted: 1.0 is a total blackout
+        assert FaultPlan(message_loss=1.0).message_loss == 1.0
         with pytest.raises(ValueError):
-            FaultPlan(message_loss=1.0)
+            FaultPlan(message_loss=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(message_loss=-0.1)
         assert FaultPlan().empty
         assert not FaultPlan(message_loss=0.1).empty
         assert not FaultPlan(bursts=(CrashBurst(at=10.0),)).empty
@@ -83,9 +87,9 @@ class TestInjection:
         sim = FaultyGridSimulation(
             quiet_config(faults=FaultPlan(message_loss=0.25))
         )
-        assert sim.protocol._loss_rate == 0.0  # not yet installed
+        assert sim.protocol.net.is_identity  # not yet installed
         sim._injector.install()
-        assert sim.protocol._loss_rate == 0.25
+        assert sim.protocol.net.spec.loss == 0.25
 
     def test_seeded_plan_replays_identically(self):
         plan = FaultPlan(
